@@ -1,0 +1,183 @@
+package rlgraph
+
+// One benchmark per figure of the paper's evaluation (§5). Each benchmark
+// drives the shared workload implementations in internal/benchkit at a quick
+// scale and reports the figure's metric through testing.B custom metrics, so
+// `go test -bench=. -benchmem` regenerates every series. For full laptop-
+// scale sweeps with printed tables, run cmd/rlgraph-bench.
+
+import (
+	"testing"
+	"time"
+
+	"rlgraph/internal/benchkit"
+)
+
+// BenchmarkFig5aBuildOverhead measures component-graph trace and build times
+// for the prioritized-replay component and the full DQN architecture on both
+// backends (paper Fig. 5a).
+func BenchmarkFig5aBuildOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.Fig5a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.BuildSec*1000, "ms_build_"+short(r.Backend)+"_"+shortArch(r.Architecture))
+		}
+	}
+}
+
+func short(backend string) string {
+	if backend == "static" {
+		return "tf"
+	}
+	return "pt"
+}
+
+func shortArch(a string) string {
+	if a == "DQN" {
+		return "dqn"
+	}
+	return "mem"
+}
+
+// BenchmarkFig5bWorkerAct measures act throughput on vectorized pixel-Pong
+// for static RLgraph, define-by-run RLgraph, and the hand-tuned eager actor
+// (paper Fig. 5b).
+func BenchmarkFig5bWorkerAct(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.Fig5b([]int{4}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			name := map[string]string{
+				"TF RLgraph": "fps_tf", "PT RLgraph": "fps_pt", "PT hand-tuned": "fps_hand",
+			}[r.Variant]
+			b.ReportMetric(r.FPS, name)
+		}
+	}
+}
+
+// BenchmarkFig6ApexThroughput measures distributed Ape-X sample throughput
+// for the RLgraph and RLlib-style execution plans (paper Fig. 6).
+func BenchmarkFig6ApexThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.Fig6([]int{2}, 500*time.Millisecond, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Kind == benchkit.KindRLgraph {
+				b.ReportMetric(r.FPS, "fps_rlgraph")
+			} else {
+				b.ReportMetric(r.FPS, "fps_rllib")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7aSingleWorker measures one worker's task throughput for both
+// plans (paper Fig. 7a).
+func BenchmarkFig7aSingleWorker(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.Fig7a([]int{50}, []int{4}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Kind == benchkit.KindRLgraph {
+				b.ReportMetric(r.FPS, "fps_rlgraph")
+			} else {
+				b.ReportMetric(r.FPS, "fps_rllib")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7bLearningPong runs a short Ape-X learning race between the
+// two plans and reports the final mean rewards (paper Fig. 7b). Full runs to
+// the solved threshold are in cmd/rlgraph-bench -fig 7b.
+func BenchmarkFig7bLearningPong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.Fig7b(2, 2, 1000 /* don't stop early */, 3*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			last := -21.0
+			if len(r.Timeline) > 0 {
+				last = r.Timeline[len(r.Timeline)-1].MeanReward
+			}
+			if r.Kind == benchkit.KindRLgraph {
+				b.ReportMetric(last, "reward_rlgraph")
+			} else {
+				b.ReportMetric(last, "reward_rllib")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8MultiGPU compares time-to-update-budget for 1 vs 2 simulated
+// GPUs under the synchronous replica strategy (paper Fig. 8).
+func BenchmarkFig8MultiGPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.Fig8([]int{1, 2}, 2, 1000 /* unreachable */, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.GPUs == 1 {
+				b.ReportMetric(r.FinalVirtualSec, "vsec_1gpu")
+			} else {
+				b.ReportMetric(r.FinalVirtualSec, "vsec_2gpu")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9ImpalaThroughput measures IMPALA throughput for the RLgraph
+// and DeepMind-reference execution plans on the DM-Lab stand-in (paper
+// Fig. 9).
+func BenchmarkFig9ImpalaThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.Fig9([]int{2}, 500*time.Millisecond, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Variant == "RLgraph IMPALA" {
+				b.ReportMetric(r.FPS, "fps_rlgraph")
+			} else {
+				b.ReportMetric(r.FPS, "fps_dm")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFastPath isolates define-by-run component-dispatch
+// overhead via the contracted-call fast path (paper §5.1 edge contraction).
+func BenchmarkAblationFastPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.FastPathAblation(4, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].FPS, "fps_dispatch")
+		b.ReportMetric(rows[1].FPS, "fps_fastpath")
+	}
+}
+
+// BenchmarkAblationSessionBatching isolates the cost of splitting an update
+// into multiple executor calls versus the single batched call RLgraph emits.
+func BenchmarkAblationSessionBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.SessionBatchingAblation(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].FPS, "updates_batched")
+		b.ReportMetric(rows[1].FPS, "updates_split")
+	}
+}

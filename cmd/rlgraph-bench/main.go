@@ -1,0 +1,154 @@
+// Command rlgraph-bench regenerates the paper's evaluation figures at laptop
+// scale, printing one series row per measured point. Select a figure with
+// -fig (5a, 5b, 6, 7a, 7b, 8, 9, or all).
+//
+// Usage:
+//
+//	rlgraph-bench -fig 6
+//	rlgraph-bench -fig all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rlgraph/internal/benchkit"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, all")
+	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
+	flag.Parse()
+
+	scale := benchkit.LaptopScale()
+	if *quick {
+		scale = benchkit.QuickScale()
+	}
+
+	runners := map[string]func(benchkit.Scale) error{
+		"5a": fig5a, "5b": fig5b, "6": fig6, "7a": fig7a, "7b": fig7b, "8": fig8, "9": fig9,
+	}
+	if *fig == "all" {
+		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9"} {
+			if err := runners[k](scale); err != nil {
+				log.Fatalf("figure %s: %v", k, err)
+			}
+		}
+		return
+	}
+	r, ok := runners[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	if err := r(scale); err != nil {
+		log.Fatalf("figure %s: %v", *fig, err)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func fig5a(benchkit.Scale) error {
+	header("Figure 5a — build overheads (trace + build, seconds)")
+	rows, err := benchkit.Fig5a()
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("arch=%-20s backend=%-14s components=%-4d trace_s=%.4f build_s=%.4f\n",
+			r.Architecture, r.Backend, r.Components, r.TraceSec, r.BuildSec)
+	}
+	return nil
+}
+
+func fig5b(s benchkit.Scale) error {
+	header("Figure 5b — worker act throughput (env frames/s, pixel Pong)")
+	rows, err := benchkit.Fig5b(s.ActEnvCounts, s.ActSteps)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("variant=%-14s envs=%-3d fps=%.0f\n", r.Variant, r.Envs, r.FPS)
+	}
+	return nil
+}
+
+func fig6(s benchkit.Scale) error {
+	header("Figure 6 — distributed Ape-X sample throughput (env frames/s)")
+	rows, err := benchkit.Fig6(s.ApexWorkers, s.ApexDuration, s.PongPoints)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("impl=%-8s workers=%-4d fps=%.0f updates=%d\n", r.Kind, r.Workers, r.FPS, r.Updates)
+	}
+	return nil
+}
+
+func fig7a(s benchkit.Scale) error {
+	header("Figure 7a — single-worker task throughput (env frames/s)")
+	rows, err := benchkit.Fig7a(s.TaskSizes, s.EnvCounts, s.PongPoints)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("impl=%-8s envs=%-3d task=%-5d fps=%.0f\n", r.Kind, r.Envs, r.TaskSize, r.FPS)
+	}
+	return nil
+}
+
+func fig7b(s benchkit.Scale) error {
+	header("Figure 7b — Ape-X learning on Pong (mean worker reward vs seconds)")
+	rows, err := benchkit.Fig7b(2, s.PongPoints, s.LearnTarget, s.LearnMaxTime)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("impl=%s\n", r.Kind)
+		for _, p := range r.Timeline {
+			fmt.Printf("  t=%-8.1f reward=%.2f\n", p.Seconds, p.MeanReward)
+		}
+		if r.SolvedSec >= 0 {
+			fmt.Printf("  solved (reward >= %.1f) at t=%.1fs\n", s.LearnTarget, r.SolvedSec)
+		} else {
+			fmt.Printf("  not solved within budget\n")
+		}
+	}
+	return nil
+}
+
+func fig8(s benchkit.Scale) error {
+	header("Figure 8 — synchronous multi-GPU strategy (reward vs virtual seconds)")
+	rows, err := benchkit.Fig8([]int{1, 2}, s.PongPoints, s.LearnTarget, 4000)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("gpus=%d\n", r.GPUs)
+		for _, p := range r.Timeline {
+			fmt.Printf("  vt=%-8.1f reward=%.2f\n", p.VirtualSec, p.MeanReward)
+		}
+		if r.SolvedVirtualSec >= 0 {
+			fmt.Printf("  solved at virtual t=%.1fs\n", r.SolvedVirtualSec)
+		} else {
+			fmt.Printf("  not solved within update budget\n")
+		}
+	}
+	return nil
+}
+
+func fig9(s benchkit.Scale) error {
+	header("Figure 9 — IMPALA throughput on the DM-Lab stand-in (env frames/s)")
+	rows, err := benchkit.Fig9(s.ImpalaActors, s.ImpalaDuration, 2000)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("impl=%-16s actors=%-4d fps=%.0f updates=%d\n", r.Variant, r.Actors, r.FPS, r.Updates)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Quickstart: configure a DQN agent from a declarative JSON document (the
+// paper's agent API, §3.4), train it on CartPole, and evaluate the greedy
+// policy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/envs"
+	"rlgraph/internal/tensor"
+)
+
+const config = `{
+	"type": "dqn",
+	"backend": "static",
+	"network": [
+		{"type": "dense", "units": 64, "activation": "relu"},
+		{"type": "dense", "units": 64, "activation": "relu"}
+	],
+	"double_q": true,
+	"gamma": 0.99,
+	"memory": {"type": "replay", "capacity": 10000},
+	"optimizer": {"type": "adam", "learning_rate": 0.001},
+	"exploration": {"initial": 1.0, "final": 0.05, "decay_steps": 3000},
+	"batch_size": 32,
+	"target_sync_every": 100,
+	"seed": 7
+}`
+
+func main() {
+	env := envs.NewCartPole(7)
+	agent, err := agents.FromConfig([]byte(config), env.StateSpace(), env.ActionSpace())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := agent.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("build:", report)
+
+	// Train: act → observe → update.
+	obs := env.Reset()
+	episodeReward, episodes := 0.0, 0
+	for step := 0; step < 6000; step++ {
+		st := obs.Reshape(1, obs.Size())
+		at, err := agent.GetActions(st, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		action := int(at.Data()[0])
+		next, r, done := env.Step(action)
+		episodeReward += r
+		term := 0.0
+		if done {
+			term = 1
+		}
+		if err := agent.Observe(st,
+			tensor.FromSlice([]float64{float64(action)}, 1),
+			tensor.FromSlice([]float64{r}, 1),
+			next.Reshape(1, next.Size()),
+			tensor.FromSlice([]float64{term}, 1)); err != nil {
+			log.Fatal(err)
+		}
+		obs = next
+		if done {
+			episodes++
+			if episodes%20 == 0 {
+				fmt.Printf("episode %3d  reward %.0f\n", episodes, episodeReward)
+			}
+			episodeReward = 0
+			obs = env.Reset()
+		}
+		if step > 500 && step%2 == 0 {
+			if _, err := agent.Update(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Greedy evaluation.
+	total := 0.0
+	const evalEpisodes = 5
+	for ep := 0; ep < evalEpisodes; ep++ {
+		obs = env.Reset()
+		for {
+			at, err := agent.GetActions(obs.Reshape(1, obs.Size()), false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var r float64
+			var done bool
+			obs, r, done = env.Step(int(at.Data()[0]))
+			total += r
+			if done {
+				break
+			}
+		}
+	}
+	fmt.Printf("greedy evaluation: mean reward %.1f over %d episodes (max 200)\n",
+		total/evalEpisodes, evalEpisodes)
+}

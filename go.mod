@@ -1,0 +1,3 @@
+module rlgraph
+
+go 1.22

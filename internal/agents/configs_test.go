@@ -1,0 +1,44 @@
+package agents
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rlgraph/internal/spaces"
+)
+
+// TestShippedConfigsBuild parses and builds every JSON config in configs/ —
+// the declarative documents users start from — so they can never rot.
+func TestShippedConfigsBuild(t *testing.T) {
+	dir := filepath.Join("..", "..", "configs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading configs dir: %v", err)
+	}
+	if len(entries) < 4 {
+		t.Fatalf("only %d shipped configs", len(entries))
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pixel configs need an image state space; feature configs a
+			// flat one.
+			state := spaces.Space(spaces.NewFloatBox(6))
+			if e.Name() == "dueling_dqn_pixels.json" {
+				state = spaces.NewFloatBox(84, 84, 1)
+			}
+			agent, err := FromConfig(data, state, spaces.NewIntBox(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := agent.Build(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,18 @@
+// Package dmimpala configures the IMPALA executor to reproduce the
+// inefficiencies the paper measured in DeepMind's reference implementation
+// (§5.1, Fig. 9): redundant variable assignments in the actor and unneeded
+// preprocessing of tensors after unstaging at the learner. Both the baseline
+// and the RLgraph variant share the identical substrate, agents and
+// hyper-parameters — only the execution plan differs, so measured gaps
+// isolate the plan.
+package dmimpala
+
+import "rlgraph/internal/distexec"
+
+// Config returns the baseline executor configuration derived from an
+// RLgraph-style one.
+func Config(base distexec.IMPALAConfig) distexec.IMPALAConfig {
+	out := base
+	out.BaselineOverheads = true
+	return out
+}

@@ -1,0 +1,21 @@
+package dmimpala
+
+import (
+	"testing"
+
+	"rlgraph/internal/distexec"
+)
+
+func TestConfigEnablesBaselineOverheads(t *testing.T) {
+	base := distexec.IMPALAConfig{NumActors: 3, QueueCapacity: 7}
+	got := Config(base)
+	if !got.BaselineOverheads {
+		t.Fatal("overheads not enabled")
+	}
+	if got.NumActors != 3 || got.QueueCapacity != 7 {
+		t.Fatal("other fields mutated")
+	}
+	if base.BaselineOverheads {
+		t.Fatal("input mutated")
+	}
+}

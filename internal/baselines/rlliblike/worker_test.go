@@ -1,0 +1,94 @@
+package rlliblike
+
+import (
+	"testing"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/components/nn"
+	"rlgraph/internal/envs"
+	"rlgraph/internal/execution"
+)
+
+func buildAgent(t *testing.T, env envs.Env) *agents.DQN {
+	t.Helper()
+	cfg := agents.DQNConfig{
+		Backend: "static",
+		Network: []nn.LayerSpec{{Type: "dense", Units: 16, Activation: "relu"}},
+		Memory:  agents.MemoryConfig{Type: "prioritized", Capacity: 500},
+		Seed:    1,
+	}
+	a, err := agents.NewDQN(cfg, env.StateSpace(), env.ActionSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestSameAlgorithmAsRLgraphWorker verifies both workers produce transitions
+// with identical semantics (same field shapes, n-step discounting, terminal
+// handling) — the paper's requirement that only the execution plan differs.
+func TestSameAlgorithmAsRLgraphWorker(t *testing.T) {
+	mk := func() (*agents.DQN, *envs.VectorEnv) {
+		env := envs.NewGridWorld(3, 7)
+		return buildAgent(t, env), envs.NewVectorEnv(envs.NewGridWorld(3, 7))
+	}
+	a1, v1 := mk()
+	a2, v2 := mk()
+	rg := execution.NewWorker(a1, v1, execution.WorkerConfig{NStep: 2, Gamma: 0.9})
+	rl := NewWorker(a2, v2, 2, 0.9, false, 1)
+
+	b1, err := rg.Sample(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := rl.Sample(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical seeds and envs → identical transition streams.
+	if b1.Len() != b2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", b1.Len(), b2.Len())
+	}
+	if !b1.S.Equal(b2.S) || !b1.A.Equal(b2.A) || !b1.R.AllClose(b2.R, 1e-12) ||
+		!b1.T.Equal(b2.T) {
+		t.Fatal("transition streams differ between execution plans")
+	}
+}
+
+func TestIncrementalPlanMakesManyExecutorCalls(t *testing.T) {
+	env := envs.NewGridWorld(3, 8)
+	agent := buildAgent(t, env)
+	vec := envs.NewVectorEnv(envs.NewGridWorld(3, 8), envs.NewGridWorld(3, 9))
+	w := NewWorker(agent, vec, 1, 0.99, true, 1)
+	b, err := w.Sample(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Prio == nil {
+		t.Fatal("priorities missing")
+	}
+	// 10 act calls + one priority call per transition.
+	wantMin := 10 + b.Len()
+	if w.ExecutorCalls < wantMin {
+		t.Fatalf("executor calls = %d, want >= %d", w.ExecutorCalls, wantMin)
+	}
+}
+
+func TestMeanRewardAndWeights(t *testing.T) {
+	env := envs.NewGridWorld(2, 3)
+	agent := buildAgent(t, env)
+	vec := envs.NewVectorEnv(envs.NewGridWorld(2, 3))
+	w := NewWorker(agent, vec, 1, 0.99, false, 1)
+	if _, err := w.Sample(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.MeanReward(5); !ok {
+		t.Fatal("no finished episodes on a 2x2 grid in 50 steps")
+	}
+	if err := w.SetWeights(agent.GetWeights()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package benchkit
+
+import "testing"
+
+func TestFastPathAblationRuns(t *testing.T) {
+	rows, err := FastPathAblation(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FPS <= 0 {
+			t.Fatalf("fps = %g for %s", r.FPS, r.Name)
+		}
+	}
+}
+
+func TestSessionBatchingAblationShowsBatchedFaster(t *testing.T) {
+	rows, err := SessionBatchingAblation(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The batched plan must not be slower: it strictly does less work.
+	if rows[0].FPS < rows[1].FPS*0.9 {
+		t.Fatalf("batched %.1f vs split %.1f updates/s", rows[0].FPS, rows[1].FPS)
+	}
+}

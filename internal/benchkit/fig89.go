@@ -1,0 +1,177 @@
+package benchkit
+
+import (
+	"time"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/components/nn"
+	"rlgraph/internal/components/optimizers"
+	"rlgraph/internal/devices"
+	"rlgraph/internal/distexec"
+	"rlgraph/internal/envs"
+	"rlgraph/internal/execution"
+)
+
+// Fig8Point is one (virtual time, reward) sample.
+type Fig8Point struct {
+	VirtualSec float64
+	MeanReward float64
+}
+
+// Fig8Result is one device-strategy learning curve.
+type Fig8Result struct {
+	GPUs     int
+	Timeline []Fig8Point
+	// SolvedVirtualSec is the virtual time the target was reached
+	// (negative when not reached).
+	SolvedVirtualSec float64
+	// FinalVirtualSec is the clock at run end (for fixed-update-budget
+	// comparisons).
+	FinalVirtualSec float64
+	// Updates counts applied learner updates.
+	Updates int
+}
+
+// Fig8 compares the synchronous multi-GPU device strategy against a single
+// GPU on the Ape-X learner (paper Fig. 8): identical learning math (see
+// devices.TestTowerGradEquivalence), with update time charged to a virtual
+// clock by the simulated device model — two GPUs reach the target reward in
+// less virtual time.
+func Fig8(gpuCounts []int, points int, target float64, maxUpdates int) ([]Fig8Result, error) {
+	var out []Fig8Result
+	const (
+		batch        = 128
+		secPerFrame  = 1e-5 // sampling cost charged equally to all configs
+		updateEvery  = 8    // worker steps between update attempts
+		timelineStep = 25   // updates between timeline samples
+	)
+	for _, gpus := range gpuCounts {
+		env := apexEnv(5, points)
+		cfg := learnableDQNConfig(7)
+		cfg.NumGPUs = gpus // build the expanded tower graph when > 1
+		agent, err := BuildAgent(cfg, env)
+		if err != nil {
+			return nil, err
+		}
+		es := make([]envs.Env, 4)
+		for k := range es {
+			es[k] = apexEnv(int64(100+k), points)
+		}
+		vec := envs.NewVectorEnv(es...)
+		worker := execution.NewWorker(agent, vec, execution.WorkerConfig{
+			NStep: 3, Gamma: 0.99, FramesPerStep: 4,
+		})
+		var clock devices.Clock
+		learner := distexec.NewMultiGPULearner(agent, devices.DefaultRegistry(gpus),
+			devices.UpdateCost{OverheadSec: 0.0005}, &clock)
+
+		res := Fig8Result{GPUs: gpus, SolvedVirtualSec: -1}
+		var pendingBatches []*execution.Batch
+		for learner.Updates < maxUpdates {
+			b, err := worker.Sample(updateEvery)
+			if err != nil {
+				return nil, err
+			}
+			learner.ChargeSampling(b.Frames, secPerFrame)
+			pendingBatches = append(pendingBatches, b)
+			merged := execution.Concat(pendingBatches...)
+			if merged.Len() < batch {
+				continue
+			}
+			pendingBatches = nil
+			// Target syncing happens inside the agent's update on its
+			// configured cadence.
+			if _, err := learner.Update(merged); err != nil {
+				return nil, err
+			}
+			if learner.Updates%timelineStep == 0 {
+				if m, ok := worker.MeanReward(20); ok {
+					pt := Fig8Point{VirtualSec: clock.Now(), MeanReward: m}
+					res.Timeline = append(res.Timeline, pt)
+					if res.SolvedVirtualSec < 0 && m >= target {
+						res.SolvedVirtualSec = pt.VirtualSec
+						break
+					}
+				}
+			}
+		}
+		res.FinalVirtualSec = clock.Now()
+		res.Updates = learner.Updates
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig9Result is one IMPALA throughput measurement.
+type Fig9Result struct {
+	Variant string // "RLgraph IMPALA" or "DeepMind IMPALA"
+	Actors  int
+	FPS     float64
+	Updates int
+}
+
+// impalaAgentFor builds an IMPALA agent for the DM-Lab stand-in.
+func impalaAgentFor(env envs.Env, seed int64) (*agents.IMPALA, error) {
+	cfg := agents.IMPALAConfig{
+		Backend: "static",
+		Network: []nn.LayerSpec{
+			{Type: "dense", Units: 128, Activation: "relu"},
+			{Type: "dense", Units: 64, Activation: "relu"},
+		},
+		RolloutLen: 20,
+		Optimizer:  optimizers.Config{Type: "rmsprop", LearningRate: 5e-4},
+		Seed:       seed,
+	}
+	a, err := agents.NewIMPALA(cfg, env.StateSpace(), env.ActionSpace())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := a.Build(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Fig9 measures IMPALA throughput versus actor count on the DM-Lab stand-in
+// environment for the RLgraph execution plan and the DeepMind-reference plan
+// with its documented overheads (paper Fig. 9: RLgraph ~10-15% ahead until
+// both saturate at the learner).
+func Fig9(actorCounts []int, duration time.Duration, renderCost int) ([]Fig9Result, error) {
+	var out []Fig9Result
+	// Actor count outer, implementation inner: adjacent runs compare the
+	// two plans under the same machine conditions.
+	for _, n := range actorCounts {
+		for _, baseline := range []bool{true, false} {
+			variant := "RLgraph IMPALA"
+			if baseline {
+				variant = "DeepMind IMPALA"
+			}
+			env := envs.NewLabyrinthSim(renderCost, 1)
+			learner, err := impalaAgentFor(env, 999)
+			if err != nil {
+				return nil, err
+			}
+			cfg := distexec.IMPALAConfig{
+				NumActors:         n,
+				QueueCapacity:     n * 2,
+				BaselineOverheads: baseline,
+				FramesPerStep:     4,
+			}
+			ex, err := distexec.NewIMPALAExec(cfg, learner, env.StateSpace(),
+				func(i int) (*agents.IMPALA, envs.Env, error) {
+					e := envs.NewLabyrinthSim(renderCost, int64(i+10))
+					a, err := impalaAgentFor(e, int64(i))
+					return a, e, err
+				})
+			if err != nil {
+				return nil, err
+			}
+			res, err := ex.Run(duration)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig9Result{Variant: variant, Actors: n, FPS: res.FPS, Updates: res.Updates})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package benchkit
+
+import (
+	"math/rand"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/envs"
+	"rlgraph/internal/execution"
+	"rlgraph/internal/tensor"
+)
+
+// sampleBatchFromEnv draws n random transitions from env (for seeding
+// memories and ablation inputs).
+func sampleBatchFromEnv(env envs.Env, n int) *execution.Batch {
+	rng := rand.New(rand.NewSource(1))
+	obs := env.Reset()
+	var ss, nss []*tensor.Tensor
+	var as, rs, ts []float64
+	for i := 0; i < n; i++ {
+		a := rng.Intn(env.ActionSpace().N)
+		next, r, done := env.Step(a)
+		ss = append(ss, obs)
+		as = append(as, float64(a))
+		rs = append(rs, r)
+		nss = append(nss, next)
+		if done {
+			ts = append(ts, 1)
+			next = env.Reset()
+		} else {
+			ts = append(ts, 0)
+		}
+		obs = next
+	}
+	return &execution.Batch{
+		S:  tensor.Stack(ss...),
+		A:  tensor.FromSlice(as, n),
+		R:  tensor.FromSlice(rs, n),
+		NS: tensor.Stack(nss...),
+		T:  tensor.FromSlice(ts, n),
+	}
+}
+
+// seedMemory fills an agent's replay memory with n random transitions.
+func seedMemory(agent *agents.DQN, env envs.Env, n int) error {
+	b := sampleBatchFromEnv(env, n)
+	return agent.Observe(b.S, b.A, b.R, b.NS, b.T)
+}

@@ -1,0 +1,255 @@
+package losses
+
+import (
+	"math"
+	"testing"
+
+	"rlgraph/internal/exec"
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+func dqnSpaces(actions int) exec.InputSpaces {
+	return exec.InputSpaces{
+		"loss": {
+			spaces.NewFloatBox(actions).WithBatchRank(), // q
+			spaces.NewIntBox(actions).WithBatchRank(),   // actions
+			spaces.NewFloatBox().WithBatchRank(),        // rewards
+			spaces.NewBoolBox().WithBatchRank(),         // terminals
+			spaces.NewFloatBox(actions).WithBatchRank(), // q next target
+			spaces.NewFloatBox(actions).WithBatchRank(), // q next online
+			spaces.NewFloatBox().WithBatchRank(),        // weights
+		},
+	}
+}
+
+func TestDQNLossHandComputed(t *testing.T) {
+	for _, b := range exec.Backends() {
+		l := NewDQNLoss("loss", DQNLossConfig{Gamma: 0.9})
+		ct, err := exec.NewComponentTest(b, l.Component, dqnSpaces(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One transition: q(s)=[1,2], a=0, r=1, not terminal,
+		// qNextTarget=[3,4] → target = 1 + 0.9*4 = 4.6; td = 1-4.6 = -3.6.
+		outs, err := ct.Test("loss",
+			tensor.FromSlice([]float64{1, 2}, 1, 2),
+			tensor.FromSlice([]float64{0}, 1),
+			tensor.FromSlice([]float64{1}, 1),
+			tensor.FromSlice([]float64{0}, 1),
+			tensor.FromSlice([]float64{3, 4}, 1, 2),
+			tensor.FromSlice([]float64{0, 0}, 1, 2),
+			tensor.FromSlice([]float64{1}, 1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLoss := 0.5 * 3.6 * 3.6
+		if math.Abs(outs[0].Item()-wantLoss) > 1e-9 {
+			t.Fatalf("%s: loss = %g, want %g", b, outs[0].Item(), wantLoss)
+		}
+		if math.Abs(outs[1].Data()[0]-3.6) > 1e-9 {
+			t.Fatalf("%s: |td| = %g", b, outs[1].Data()[0])
+		}
+	}
+}
+
+func TestDQNLossTerminalMasksBootstrap(t *testing.T) {
+	l := NewDQNLoss("loss", DQNLossConfig{Gamma: 0.99})
+	ct, err := exec.NewComponentTest("static", l.Component, dqnSpaces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Terminal transition: target = r only.
+	outs, err := ct.Test("loss",
+		tensor.FromSlice([]float64{5, 0}, 1, 2),
+		tensor.FromSlice([]float64{0}, 1),
+		tensor.FromSlice([]float64{2}, 1),
+		tensor.FromSlice([]float64{1}, 1), // terminal
+		tensor.FromSlice([]float64{100, 100}, 1, 2),
+		tensor.FromSlice([]float64{0, 0}, 1, 2),
+		tensor.FromSlice([]float64{1}, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// td = q - r = 5 - 2 = 3.
+	if math.Abs(outs[1].Data()[0]-3) > 1e-9 {
+		t.Fatalf("|td| = %g, want 3", outs[1].Data()[0])
+	}
+}
+
+func TestDoubleDQNUsesOnlineSelection(t *testing.T) {
+	l := NewDQNLoss("loss", DQNLossConfig{Gamma: 1, DoubleQ: true})
+	ct, err := exec.NewComponentTest("static", l.Component, dqnSpaces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Online net prefers action 0; target net values: [10, 99].
+	// Double-Q target = r + qTarget[argmax qOnline] = 0 + 10.
+	outs, err := ct.Test("loss",
+		tensor.FromSlice([]float64{0, 0}, 1, 2),
+		tensor.FromSlice([]float64{0}, 1),
+		tensor.FromSlice([]float64{0}, 1),
+		tensor.FromSlice([]float64{0}, 1),
+		tensor.FromSlice([]float64{10, 99}, 1, 2),
+		tensor.FromSlice([]float64{7, 3}, 1, 2), // online: argmax = 0
+		tensor.FromSlice([]float64{1}, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(outs[1].Data()[0]-10) > 1e-9 {
+		t.Fatalf("|td| = %g, want 10 (double-Q)", outs[1].Data()[0])
+	}
+}
+
+func TestHuberLossLinearRegion(t *testing.T) {
+	l := NewDQNLoss("loss", DQNLossConfig{Gamma: 1, Huber: true})
+	ct, err := exec.NewComponentTest("static", l.Component, dqnSpaces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// td = 4 → huber = |4| - 0.5 = 3.5 (not 8).
+	outs, err := ct.Test("loss",
+		tensor.FromSlice([]float64{4, 0}, 1, 2),
+		tensor.FromSlice([]float64{0}, 1),
+		tensor.FromSlice([]float64{0}, 1),
+		tensor.FromSlice([]float64{1}, 1),
+		tensor.FromSlice([]float64{0, 0}, 1, 2),
+		tensor.FromSlice([]float64{0, 0}, 1, 2),
+		tensor.FromSlice([]float64{1}, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(outs[0].Item()-3.5) > 1e-9 {
+		t.Fatalf("huber loss = %g, want 3.5", outs[0].Item())
+	}
+}
+
+func TestImportanceWeightsScaleLoss(t *testing.T) {
+	l := NewDQNLoss("loss", DQNLossConfig{Gamma: 1})
+	ct, err := exec.NewComponentTest("static", l.Component, dqnSpaces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(w float64) float64 {
+		outs, err := ct.Test("loss",
+			tensor.FromSlice([]float64{2, 0}, 1, 2),
+			tensor.FromSlice([]float64{0}, 1),
+			tensor.FromSlice([]float64{0}, 1),
+			tensor.FromSlice([]float64{1}, 1),
+			tensor.FromSlice([]float64{0, 0}, 1, 2),
+			tensor.FromSlice([]float64{0, 0}, 1, 2),
+			tensor.FromSlice([]float64{w}, 1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs[0].Item()
+	}
+	if math.Abs(run(2)-2*run(1)) > 1e-9 {
+		t.Fatal("weights do not scale loss linearly")
+	}
+}
+
+func vtraceSpaces(actions int) exec.InputSpaces {
+	return exec.InputSpaces{
+		"loss": {
+			spaces.NewFloatBox(actions).WithBatchRank(), // logits
+			spaces.NewFloatBox().WithBatchRank(),        // values
+			spaces.NewIntBox(actions).WithBatchRank(),   // actions
+			spaces.NewFloatBox().WithBatchRank(),        // rewards
+			spaces.NewFloatBox().WithBatchRank(),        // discounts
+			spaces.NewFloatBox().WithBatchRank(),        // behavior logp
+			spaces.NewFloatBox().WithBatchRank(),        // bootstrap
+		},
+	}
+}
+
+func TestVTraceOnPolicyReducesToTDLambdaLikeTargets(t *testing.T) {
+	// On-policy (ρ=c=1, so behaviorLogp == targetLogp): for T=2, B=1,
+	// vs_t follows the standard multi-step bootstrap recursion.
+	cfg := VTraceConfig{Gamma: 1, RolloutLen: 2, ValueCoeff: 1, EntropyCoeff: 0}
+	l := NewVTraceLoss("vtrace", cfg)
+	// Uniform logits over 2 actions → logp = ln(1/2) everywhere.
+	logp := math.Log(0.5)
+	res, err := l.vtraceScan(
+		tensor.FromSlice([]float64{logp, logp}, 2),
+		tensor.FromSlice([]float64{logp, logp}, 2),
+		tensor.FromSlice([]float64{1, 2}, 2), // V
+		tensor.FromSlice([]float64{1, 1}, 2), // rewards
+		tensor.FromSlice([]float64{1, 1}, 2), // discounts
+		tensor.FromSlice([]float64{3}, 1),    // bootstrap
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := res[0]
+	// t=1: δ = 1 + 3 - 2 = 2 → vs_1 = 4. t=0: δ = 1 + 2 - 1 = 2,
+	// vs_0 = 1 + 2 + (vs_1 - V_1) = 5.
+	if math.Abs(vs.Data()[1]-4) > 1e-9 || math.Abs(vs.Data()[0]-5) > 1e-9 {
+		t.Fatalf("vs = %v", vs.Data())
+	}
+}
+
+func TestVTraceLossRunsOnBothBackends(t *testing.T) {
+	for _, b := range exec.Backends() {
+		cfg := VTraceConfig{Gamma: 0.99, RolloutLen: 3, EntropyCoeff: 0.01}
+		l := NewVTraceLoss("vtrace", cfg)
+		ct, err := exec.NewComponentTest(b, l.Component, vtraceSpaces(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 6 // T=3, B=2
+		outs, err := ct.Test("loss",
+			tensor.New(n, 4),
+			tensor.New(n),
+			tensor.FromSlice([]float64{0, 1, 2, 3, 0, 1}, n),
+			tensor.Ones(n),
+			tensor.Full(0.99, n),
+			tensor.Full(math.Log(0.25), n),
+			tensor.New(2),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) != 4 {
+			t.Fatalf("%s: outputs = %d", b, len(outs))
+		}
+		for i, o := range outs {
+			if math.IsNaN(o.Item()) {
+				t.Fatalf("%s: output %d is NaN", b, i)
+			}
+		}
+		// Entropy of uniform logits over 4 actions per step: n*ln(4).
+		wantEnt := float64(n) * math.Log(4)
+		if math.Abs(outs[3].Item()-wantEnt) > 1e-9 {
+			t.Fatalf("%s: entropy = %g, want %g", b, outs[3].Item(), wantEnt)
+		}
+	}
+}
+
+func TestVTraceClippingBoundsRho(t *testing.T) {
+	cfg := VTraceConfig{Gamma: 1, RolloutLen: 1, RhoClip: 1, CClip: 1}
+	l := NewVTraceLoss("v", cfg)
+	// Target logp much larger than behavior: raw ρ = e³ ≈ 20, clipped to 1.
+	out, err := l.vtraceScan(
+		tensor.FromSlice([]float64{0}, 1),
+		tensor.FromSlice([]float64{-3}, 1),
+		tensor.FromSlice([]float64{0}, 1),
+		tensor.FromSlice([]float64{1}, 1),
+		tensor.FromSlice([]float64{1}, 1),
+		tensor.FromSlice([]float64{0}, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := out[0]
+	// With ρ clipped to 1: δ = 1*(1 + 0 - 0) = 1 → vs = 1; unclipped would
+	// give ~20.
+	if math.Abs(vs.Data()[0]-1) > 1e-9 {
+		t.Fatalf("vs = %g, want 1 (clipped)", vs.Data()[0])
+	}
+}

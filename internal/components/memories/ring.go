@@ -1,0 +1,79 @@
+// Package memories implements replay-memory components: a FIFO ring replay
+// and prioritized experience replay with segment-tree priority order (the
+// paper's example component, Fig. 2). Memory state lives in native Go
+// storage wrapped in stateful graph ops, so one implementation serves both
+// the static and define-by-run backends.
+package memories
+
+import (
+	"fmt"
+
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+// ringStorage is fixed-capacity, multi-field row storage with FIFO
+// overwrite. Each field holds rows of a fixed shape.
+type ringStorage struct {
+	capacity  int
+	rowShapes [][]int
+	rowSizes  []int
+	data      [][]float64
+
+	size int
+	next int
+}
+
+func newRingStorage(capacity int, rowShapes [][]int) *ringStorage {
+	rs := &ringStorage{capacity: capacity, rowShapes: rowShapes}
+	for _, s := range rowShapes {
+		n := tensor.NumElems(s)
+		rs.rowSizes = append(rs.rowSizes, n)
+		rs.data = append(rs.data, make([]float64, capacity*n))
+	}
+	return rs
+}
+
+// insertBatch copies the batch rows of every field into the ring, returning
+// the slot index of each inserted row.
+func (rs *ringStorage) insertBatch(fields []*tensor.Tensor) []int {
+	if len(fields) != len(rs.data) {
+		panic(fmt.Sprintf("memories: insert with %d fields, storage has %d", len(fields), len(rs.data)))
+	}
+	rows := fields[0].Dim(0)
+	idxs := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		slot := rs.next
+		idxs[r] = slot
+		for f, t := range fields {
+			n := rs.rowSizes[f]
+			copy(rs.data[f][slot*n:(slot+1)*n], t.Data()[r*n:(r+1)*n])
+		}
+		rs.next = (rs.next + 1) % rs.capacity
+		if rs.size < rs.capacity {
+			rs.size++
+		}
+	}
+	return idxs
+}
+
+// gather assembles the rows at the given slots for one field.
+func (rs *ringStorage) gather(field int, slots []int) *tensor.Tensor {
+	n := rs.rowSizes[field]
+	out := make([]float64, len(slots)*n)
+	for i, s := range slots {
+		copy(out[i*n:(i+1)*n], rs.data[field][s*n:(s+1)*n])
+	}
+	shape := append([]int{len(slots)}, rs.rowShapes[field]...)
+	return tensor.FromSlice(out, shape...)
+}
+
+// fieldShapesFromSpaces extracts per-field element shapes from insert input
+// spaces (batch ranks dropped).
+func fieldShapesFromSpaces(sps []spaces.Space) [][]int {
+	out := make([][]int, len(sps))
+	for i, sp := range sps {
+		out[i] = append([]int(nil), sp.Shape()...)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package nn provides neural-network components: layers with strict API
+// boundaries that the graph builder assembles into differentiable dataflow
+// on either backend. Layers create their weight variables at build time from
+// inferred input spaces (the input-completeness barrier), so users never
+// declare weight shapes by hand.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rlgraph/internal/backend"
+	"rlgraph/internal/component"
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+	"rlgraph/internal/vars"
+)
+
+// applyActivation appends the named activation to a ref.
+func applyActivation(ops backend.Ops, x backend.Ref, act string) backend.Ref {
+	switch act {
+	case "", "linear":
+		return x
+	case "relu":
+		return ops.Relu(x)
+	case "tanh":
+		return ops.Tanh(x)
+	case "sigmoid":
+		return ops.Sigmoid(x)
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %q", act))
+	}
+}
+
+// Dense is a fully connected layer: y = act(xW + b). Its weight shapes are
+// inferred from the input space during the build.
+type Dense struct {
+	*component.Component
+
+	units      int
+	activation string
+	seed       int64
+
+	// W and B are created at build time.
+	W, B *vars.Variable
+}
+
+// NewDense returns a dense layer producing `units` features.
+func NewDense(name string, units int, activation string, seed int64) *Dense {
+	d := &Dense{Component: component.New(name), units: units, activation: activation, seed: seed}
+	d.SetImpl(d)
+	d.DefineAPI("call", func(ctx *component.Ctx, in []*component.Rec) []*component.Rec {
+		return d.GraphFn(ctx, "forward", 1, d.forward, in...)
+	})
+	return d
+}
+
+func (d *Dense) forward(ops backend.Ops, in []backend.Ref) []backend.Ref {
+	y := ops.Add(ops.MatMul(in[0], ops.VarRead(d.W)), ops.VarRead(d.B))
+	return []backend.Ref{applyActivation(ops, y, d.activation)}
+}
+
+// CreateVariables builds W [fanIn, units] and B [units] from the input space.
+func (d *Dense) CreateVariables(_ backend.Ops, inSpaces []spaces.Space) error {
+	shape := inSpaces[0].Shape()
+	if len(shape) != 1 {
+		return fmt.Errorf("nn: Dense %q wants rank-1 feature input, got element shape %v", d.Name(), shape)
+	}
+	fanIn := shape[0]
+	rng := rand.New(rand.NewSource(d.seed))
+	d.W = d.AddVariable(vars.New("W", tensor.GlorotUniform(rng, fanIn, d.units, fanIn, d.units)))
+	d.B = d.AddVariable(vars.New("b", tensor.New(d.units)))
+	return nil
+}
+
+// Conv2DLayer is an NHWC convolution layer with bias and activation.
+type Conv2DLayer struct {
+	*component.Component
+
+	filters    int
+	kernelH    int
+	kernelW    int
+	params     tensor.ConvParams
+	activation string
+	seed       int64
+
+	W, B *vars.Variable
+}
+
+// NewConv2D returns a conv layer. padding is "valid" or "same".
+func NewConv2D(name string, filters, kernel, stride int, padding, activation string, seed int64) *Conv2DLayer {
+	p := tensor.ConvParams{StrideH: stride, StrideW: stride}
+	if padding == "same" {
+		p.PadH, p.PadW = tensor.SamePadding(kernel, kernel)
+	}
+	c := &Conv2DLayer{
+		Component: component.New(name), filters: filters,
+		kernelH: kernel, kernelW: kernel, params: p,
+		activation: activation, seed: seed,
+	}
+	c.SetImpl(c)
+	c.DefineAPI("call", func(ctx *component.Ctx, in []*component.Rec) []*component.Rec {
+		return c.GraphFn(ctx, "forward", 1, c.forward, in...)
+	})
+	return c
+}
+
+func (c *Conv2DLayer) forward(ops backend.Ops, in []backend.Ref) []backend.Ref {
+	y := ops.Add(ops.Conv2D(in[0], ops.VarRead(c.W), c.params), ops.VarRead(c.B))
+	return []backend.Ref{applyActivation(ops, y, c.activation)}
+}
+
+// CreateVariables builds the filter [kh,kw,C,OC] and bias [OC] from the
+// input space's channel count.
+func (c *Conv2DLayer) CreateVariables(_ backend.Ops, inSpaces []spaces.Space) error {
+	shape := inSpaces[0].Shape()
+	if len(shape) != 3 {
+		return fmt.Errorf("nn: Conv2D %q wants HWC input, got element shape %v", c.Name(), shape)
+	}
+	inC := shape[2]
+	fanIn := c.kernelH * c.kernelW * inC
+	fanOut := c.kernelH * c.kernelW * c.filters
+	rng := rand.New(rand.NewSource(c.seed))
+	c.W = c.AddVariable(vars.New("W",
+		tensor.GlorotUniform(rng, fanIn, fanOut, c.kernelH, c.kernelW, inC, c.filters)))
+	c.B = c.AddVariable(vars.New("b", tensor.New(c.filters)))
+	return nil
+}
+
+// Flatten reshapes [b, d1, d2, ...] to [b, d1*d2*...]. It owns no variables
+// but is a first-class component so it can be built and tested in isolation.
+type Flatten struct {
+	*component.Component
+}
+
+// NewFlatten returns a flatten component.
+func NewFlatten(name string) *Flatten {
+	f := &Flatten{Component: component.New(name)}
+	f.DefineAPI("call", func(ctx *component.Ctx, in []*component.Rec) []*component.Rec {
+		return f.GraphFn(ctx, "flatten", 1, func(ops backend.Ops, refs []backend.Ref) []backend.Ref {
+			return []backend.Ref{ops.FlattenBatch(refs[0])}
+		}, in...)
+	})
+	return f
+}
+
+// Activation applies a named nonlinearity as a standalone component.
+type Activation struct {
+	*component.Component
+	kind string
+}
+
+// NewActivation returns an activation component of the given kind.
+func NewActivation(name, kind string) *Activation {
+	a := &Activation{Component: component.New(name), kind: kind}
+	a.DefineAPI("call", func(ctx *component.Ctx, in []*component.Rec) []*component.Rec {
+		return a.GraphFn(ctx, "activate", 1, func(ops backend.Ops, refs []backend.Ref) []backend.Ref {
+			return []backend.Ref{applyActivation(ops, refs[0], a.kind)}
+		}, in...)
+	})
+	return a
+}

@@ -1,0 +1,213 @@
+// Package optimizers provides gradient-descent optimizer components. An
+// optimizer's step API takes a scalar loss record, obtains gradients of the
+// trainable variables it was wired to (paper Fig. 3: optimizer.step(loss,
+// policy.variables())), optionally clips them by global norm, and emits
+// backend-appropriate update operations: in-graph assignments for the static
+// backend, immediate in-place updates for define-by-run.
+package optimizers
+
+import (
+	"fmt"
+	"math"
+
+	"rlgraph/internal/backend"
+	"rlgraph/internal/component"
+	"rlgraph/internal/tensor"
+	"rlgraph/internal/vars"
+)
+
+// VarsProvider supplies the variables an optimizer updates. It is resolved
+// at build time so optimizers can be wired before the policy's variables
+// exist.
+type VarsProvider func() []*vars.Variable
+
+// Config selects and parameterizes an optimizer.
+type Config struct {
+	// Type is "sgd", "momentum", "rmsprop" or "adam".
+	Type string `json:"type"`
+	// LearningRate is the step size.
+	LearningRate float64 `json:"learning_rate"`
+	// Momentum applies to "momentum" (and as RMSProp's decay if set).
+	Momentum float64 `json:"momentum,omitempty"`
+	// Beta1/Beta2 are Adam's moment decays.
+	Beta1 float64 `json:"beta1,omitempty"`
+	Beta2 float64 `json:"beta2,omitempty"`
+	// Decay is RMSProp's moving-average decay.
+	Decay float64 `json:"decay,omitempty"`
+	// Epsilon stabilizes divisions.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// MaxGradNorm enables global-norm gradient clipping when > 0.
+	MaxGradNorm float64 `json:"max_grad_norm,omitempty"`
+}
+
+// Optimizer is the shared component: concrete rules differ only in their
+// per-variable update emission.
+type Optimizer struct {
+	*component.Component
+
+	cfg      Config
+	provider VarsProvider
+
+	// slot state, created lazily at build time per optimized variable.
+	slots map[*vars.Variable]map[string]*vars.Variable
+	step  int // host-side step counter (Adam bias correction)
+}
+
+// New returns an optimizer component from a config.
+func New(name string, cfg Config, provider VarsProvider) (*Optimizer, error) {
+	switch cfg.Type {
+	case "sgd", "momentum", "rmsprop", "adam":
+	default:
+		return nil, fmt.Errorf("optimizers: unknown type %q", cfg.Type)
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("optimizers: learning rate must be positive, got %g", cfg.LearningRate)
+	}
+	o := &Optimizer{
+		Component: component.New(name),
+		cfg:       withDefaults(cfg),
+		provider:  provider,
+		slots:     make(map[*vars.Variable]map[string]*vars.Variable),
+	}
+	o.DefineAPI("step", func(ctx *component.Ctx, in []*component.Rec) []*component.Rec {
+		return o.GraphFn(ctx, "step", 1, o.stepFn, in...)
+	})
+	return o, nil
+}
+
+// Must is New, panicking on config errors.
+func Must(name string, cfg Config, provider VarsProvider) *Optimizer {
+	o, err := New(name, cfg, provider)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func withDefaults(cfg Config) Config {
+	if cfg.Beta1 == 0 {
+		cfg.Beta1 = 0.9
+	}
+	if cfg.Beta2 == 0 {
+		cfg.Beta2 = 0.999
+	}
+	if cfg.Decay == 0 {
+		cfg.Decay = 0.99
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-8
+	}
+	if cfg.Momentum == 0 && cfg.Type == "momentum" {
+		cfg.Momentum = 0.9
+	}
+	return cfg
+}
+
+// stepFn computes gradients of the loss wrt the wired variables, clips, and
+// emits updates. The returned ref is the global gradient norm (before
+// clipping); evaluating it forces all updates.
+func (o *Optimizer) stepFn(ops backend.Ops, in []backend.Ref) []backend.Ref {
+	loss := in[0]
+	vsl := o.provider()
+	if len(vsl) == 0 {
+		panic(fmt.Sprintf("optimizers: %q has no variables to optimize", o.Name()))
+	}
+	grads := ops.Gradients(loss, vsl)
+
+	// Global norm: sqrt(Σ_v Σ g²).
+	var sq backend.Ref
+	for _, g := range grads {
+		s := ops.Sum(ops.Square(g))
+		if sq == nil {
+			sq = s
+		} else {
+			sq = ops.Add(sq, s)
+		}
+	}
+	norm := ops.Sqrt(sq)
+
+	if o.cfg.MaxGradNorm > 0 {
+		// scale = min(1, maxNorm / (norm + eps)).
+		scale := ops.Minimum(ops.ConstScalar(1),
+			ops.Div(ops.ConstScalar(o.cfg.MaxGradNorm), ops.AddScalar(norm, 1e-12)))
+		for i, g := range grads {
+			grads[i] = ops.Mul(g, scale)
+		}
+	}
+
+	updates := make([]backend.Ref, 0, len(vsl)+1)
+	for i, v := range vsl {
+		updates = append(updates, o.applyUpdate(ops, v, grads[i]))
+	}
+	// Advance the shared step counter once per step (host side).
+	updates = append(updates, ops.Stateful("OptStep", []int{}, func([]*tensor.Tensor) (*tensor.Tensor, error) {
+		o.step++
+		return tensor.Scalar(float64(o.step)), nil
+	}))
+	group := ops.Group(updates...)
+
+	// Return the norm, forcing updates via the group as a data dependency:
+	// norm + 0*group keeps a single fetchable output on both backends.
+	return []backend.Ref{ops.Add(norm, ops.Mul(group, ops.ConstScalar(0)))}
+}
+
+// slot returns (creating on first use) named optimizer state shaped like v.
+func (o *Optimizer) slot(v *vars.Variable, name string) *vars.Variable {
+	m := o.slots[v]
+	if m == nil {
+		m = make(map[string]*vars.Variable)
+		o.slots[v] = m
+	}
+	s := m[name]
+	if s == nil {
+		s = vars.NewNonTrainable(o.Scope()+"/"+name+"/"+v.Name, tensor.New(v.Val.Shape()...))
+		m[name] = s
+	}
+	return s
+}
+
+// applyUpdate emits the per-variable update for the configured rule.
+func (o *Optimizer) applyUpdate(ops backend.Ops, v *vars.Variable, g backend.Ref) backend.Ref {
+	lr := o.cfg.LearningRate
+	switch o.cfg.Type {
+	case "sgd":
+		return ops.AddToVar(v, g, -lr)
+
+	case "momentum":
+		mv := o.slot(v, "momentum")
+		// m = μm + g; v -= lr*m.
+		mNew := ops.Add(ops.Scale(ops.VarRead(mv), o.cfg.Momentum), g)
+		a1 := ops.AssignVar(mv, mNew)
+		return ops.Group(a1, ops.AddToVar(v, mNew, -lr))
+
+	case "rmsprop":
+		sv := o.slot(v, "rms")
+		// s = ρs + (1-ρ)g²; v -= lr * g/sqrt(s+ε).
+		sNew := ops.Add(ops.Scale(ops.VarRead(sv), o.cfg.Decay),
+			ops.Scale(ops.Square(g), 1-o.cfg.Decay))
+		a1 := ops.AssignVar(sv, sNew)
+		upd := ops.Div(g, ops.Sqrt(ops.AddScalar(sNew, o.cfg.Epsilon)))
+		return ops.Group(a1, ops.AddToVar(v, upd, -lr))
+
+	case "adam":
+		mv := o.slot(v, "m")
+		vv := o.slot(v, "v")
+		b1, b2 := o.cfg.Beta1, o.cfg.Beta2
+		mNew := ops.Add(ops.Scale(ops.VarRead(mv), b1), ops.Scale(g, 1-b1))
+		vNew := ops.Add(ops.Scale(ops.VarRead(vv), b2), ops.Scale(ops.Square(g), 1-b2))
+		a1 := ops.AssignVar(mv, mNew)
+		a2 := ops.AssignVar(vv, vNew)
+		// Bias correction uses the host step counter read at run time.
+		corr := ops.Stateful("AdamCorr", []int{}, func([]*tensor.Tensor) (*tensor.Tensor, error) {
+			t := float64(o.step + 1)
+			c := math.Sqrt(1-math.Pow(b2, t)) / (1 - math.Pow(b1, t))
+			return tensor.Scalar(c), nil
+		})
+		upd := ops.Div(ops.Mul(mNew, corr), ops.AddScalar(ops.Sqrt(vNew), o.cfg.Epsilon))
+		return ops.Group(a1, a2, ops.AddToVar(v, upd, -lr))
+	}
+	panic("unreachable")
+}
+
+// Step returns the number of applied optimizer steps.
+func (o *Optimizer) Step() int { return o.step }

@@ -1,0 +1,149 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"rlgraph/internal/components/nn"
+	"rlgraph/internal/exec"
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+func testPolicy(seed int64, eps *EpsilonGreedy) *Policy {
+	net := nn.MustNetwork("net", []nn.LayerSpec{
+		{Type: "dense", Units: 16, Activation: "relu"},
+		{Type: "dense", Units: 4},
+	}, seed)
+	return New("policy", net.Component, spaces.NewIntBox(4), eps)
+}
+
+func policySpaces() exec.InputSpaces {
+	st := spaces.NewFloatBox(6).WithBatchRank()
+	return exec.InputSpaces{
+		"q_values":   {st},
+		"act_greedy": {st},
+		"act":        {st},
+	}
+}
+
+func TestPolicyQValuesShape(t *testing.T) {
+	for _, b := range exec.Backends() {
+		p := testPolicy(1, nil)
+		ct, err := exec.NewComponentTest(b, p.Component, policySpaces())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := ct.Test1("q_values", tensor.New(3, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.SameShape(q.Shape(), []int{3, 4}) {
+			t.Fatalf("%s: q shape = %v", b, q.Shape())
+		}
+	}
+}
+
+func TestGreedyActionsAreArgmax(t *testing.T) {
+	p := testPolicy(2, nil)
+	ct, err := exec.NewComponentTest("static", p.Component, policySpaces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	st := tensor.RandNormal(rng, 0, 1, 5, 6)
+	q, err := ct.Test1("q_values", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ct.Test1("act_greedy", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := tensor.ArgMaxAxis(q, -1)
+	if !a.Equal(am) {
+		t.Fatalf("greedy actions %v != argmax %v", a, am)
+	}
+}
+
+func TestEpsilonDecaySchedule(t *testing.T) {
+	e := NewEpsilonGreedy("eps", 1.0, 0.1, 100, 7)
+	if e.Epsilon() != 1.0 {
+		t.Fatalf("initial eps = %g", e.Epsilon())
+	}
+	e.SetTimestep(50)
+	if got := e.Epsilon(); got < 0.54 || got > 0.56 {
+		t.Fatalf("mid eps = %g", got)
+	}
+	e.SetTimestep(1000)
+	if e.Epsilon() != 0.1 {
+		t.Fatalf("final eps = %g", e.Epsilon())
+	}
+}
+
+func TestExplorationFullEpsilonIsUniformish(t *testing.T) {
+	// With ε=1 every action is random: all four actions must occur.
+	e := NewEpsilonGreedy("eps", 1.0, 1.0, 1, 11)
+	p := testPolicy(4, e)
+	ct, err := exec.NewComponentTest("define-by-run", p.Component, policySpaces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 50; i++ {
+		a, err := ct.Test1("act", tensor.New(4, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range a.Data() {
+			counts[int(v)]++
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("action coverage = %v", counts)
+	}
+}
+
+func TestExplorationZeroEpsilonIsGreedy(t *testing.T) {
+	e := NewEpsilonGreedy("eps", 0, 0, 1, 13)
+	p := testPolicy(5, e)
+	ct, err := exec.NewComponentTest("static", p.Component, policySpaces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	st := tensor.RandNormal(rng, 0, 1, 8, 6)
+	a, err := ct.Test1("act", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ct.Test1("act_greedy", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(g) {
+		t.Fatal("ε=0 actions differ from greedy")
+	}
+}
+
+func TestPolicyVariablesExposed(t *testing.T) {
+	p := testPolicy(8, nil)
+	_, err := exec.NewComponentTest("static", p.Component, policySpaces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two dense layers → 4 trainable variables.
+	if got := len(p.TrainableVariables()); got != 4 {
+		t.Fatalf("trainables = %d", got)
+	}
+}
+
+func TestActAPIsAreNoGrad(t *testing.T) {
+	p := testPolicy(9, NewEpsilonGreedy("eps", 0.5, 0.5, 1, 1))
+	if !p.LookupAPI("act").NoGrad || !p.LookupAPI("act_greedy").NoGrad {
+		t.Fatal("act APIs must be no-grad for the define-by-run fast path")
+	}
+	if p.LookupAPI("q_values").NoGrad {
+		t.Fatal("q_values must allow gradients (used by the update path)")
+	}
+}

@@ -1,0 +1,101 @@
+// Package preprocess provides preprocessing components. In RLgraph, pre- and
+// post-processing heuristics are first-class components (paper §1, point 4):
+// they are built from input spaces and testable in isolation like any other
+// part of the graph.
+package preprocess
+
+import (
+	"fmt"
+
+	"rlgraph/internal/backend"
+	"rlgraph/internal/component"
+	"rlgraph/internal/tensor"
+)
+
+// Rescale multiplies inputs by a constant factor (e.g. 1/255 for pixels).
+type Rescale struct {
+	*component.Component
+	factor float64
+}
+
+// NewRescale returns a scaling preprocessor.
+func NewRescale(name string, factor float64) *Rescale {
+	r := &Rescale{Component: component.New(name), factor: factor}
+	r.DefineAPI("call", func(ctx *component.Ctx, in []*component.Rec) []*component.Rec {
+		return r.GraphFn(ctx, "rescale", 1, func(ops backend.Ops, refs []backend.Ref) []backend.Ref {
+			return []backend.Ref{ops.Scale(refs[0], r.factor)}
+		}, in...)
+	})
+	return r
+}
+
+// Grayscale averages the channel axis of NHWC images with luminance weights,
+// keeping a single channel.
+type Grayscale struct {
+	*component.Component
+	weights []float64
+}
+
+// NewGrayscale returns a channel-averaging preprocessor. Pass nil weights
+// for the standard (0.299, 0.587, 0.114) luminance mix.
+func NewGrayscale(name string, weights []float64) *Grayscale {
+	if weights == nil {
+		weights = []float64{0.299, 0.587, 0.114}
+	}
+	g := &Grayscale{Component: component.New(name), weights: weights}
+	g.DefineAPI("call", func(ctx *component.Ctx, in []*component.Rec) []*component.Rec {
+		return g.GraphFn(ctx, "grayscale", 1, g.fwd, in...)
+	})
+	return g
+}
+
+func (g *Grayscale) fwd(ops backend.Ops, refs []backend.Ref) []backend.Ref {
+	shape := ops.ShapeOf(refs[0])
+	c := shape[len(shape)-1]
+	if c != len(g.weights) {
+		panic(fmt.Sprintf("preprocess: grayscale weights for %d channels, input has %d",
+			len(g.weights), c))
+	}
+	w := ops.Const(tensor.FromSlice(append([]float64(nil), g.weights...), c))
+	// Weighted channel sum, keeping the channel dim at size 1.
+	return []backend.Ref{ops.SumAxis(ops.Mul(refs[0], w), -1, true)}
+}
+
+// Clamp limits values to [lo, hi] (e.g. reward clipping).
+type Clamp struct {
+	*component.Component
+	lo, hi float64
+}
+
+// NewClamp returns a clipping preprocessor.
+func NewClamp(name string, lo, hi float64) *Clamp {
+	c := &Clamp{Component: component.New(name), lo: lo, hi: hi}
+	c.DefineAPI("call", func(ctx *component.Ctx, in []*component.Rec) []*component.Rec {
+		return c.GraphFn(ctx, "clamp", 1, func(ops backend.Ops, refs []backend.Ref) []backend.Ref {
+			return []backend.Ref{ops.Clip(refs[0], c.lo, c.hi)}
+		}, in...)
+	})
+	return c
+}
+
+// Stack chains preprocessors, exposing one "call" API over the sequence.
+type Stack struct {
+	*component.Component
+	stages []*component.Component
+}
+
+// NewStack chains the given preprocessor components (each exposing "call").
+func NewStack(name string, stages ...*component.Component) *Stack {
+	s := &Stack{Component: component.New(name), stages: stages}
+	for _, st := range stages {
+		s.AddSub(st)
+	}
+	s.DefineAPI("call", func(ctx *component.Ctx, in []*component.Rec) []*component.Rec {
+		out := in
+		for _, st := range s.stages {
+			out = st.Call(ctx, "call", out...)
+		}
+		return out
+	})
+	return s
+}

@@ -1,0 +1,97 @@
+package preprocess
+
+import (
+	"testing"
+
+	"rlgraph/internal/exec"
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+func TestRescale(t *testing.T) {
+	r := NewRescale("r", 1.0/255)
+	ct, err := exec.NewComponentTest("static", r.Component, exec.InputSpaces{
+		"call": {spaces.NewFloatBox(2).WithBatchRank()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ct.Test1("call", tensor.FromSlice([]float64{0, 255}, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllClose(tensor.FromSlice([]float64{0, 1}, 1, 2), 1e-12) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestGrayscaleLuminance(t *testing.T) {
+	g := NewGrayscale("g", nil)
+	ct, err := exec.NewComponentTest("define-by-run", g.Component, exec.InputSpaces{
+		"call": {spaces.NewFloatBox(1, 1, 3).WithBatchRank()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure white pixel (1,1,1) must map to 1.0 under luminance weights.
+	out, err := ct.Test1("call", tensor.Ones(1, 1, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.SameShape(out.Shape(), []int{1, 1, 1, 1}) {
+		t.Fatalf("shape = %v", out.Shape())
+	}
+	if d := out.Item() - 1.0; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("white pixel → %g", out.Item())
+	}
+}
+
+func TestClampRewardClipping(t *testing.T) {
+	c := NewClamp("c", -1, 1)
+	ct, err := exec.NewComponentTest("static", c.Component, exec.InputSpaces{
+		"call": {spaces.NewFloatBox().WithBatchRank()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ct.Test1("call", tensor.FromSlice([]float64{-5, 0.3, 7}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(tensor.FromSlice([]float64{-1, 0.3, 1}, 3)) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestStackChainsStagesBothBackends(t *testing.T) {
+	for _, b := range exec.Backends() {
+		s := NewStack("pp",
+			NewRescale("scale", 0.5).Component,
+			NewClamp("clip", 0, 1).Component,
+		)
+		ct, err := exec.NewComponentTest(b, s.Component, exec.InputSpaces{
+			"call": {spaces.NewFloatBox(3).WithBatchRank()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ct.Test1("call", tensor.FromSlice([]float64{-2, 1, 4}, 1, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tensor.FromSlice([]float64{0, 0.5, 1}, 1, 3)
+		if !out.AllClose(want, 1e-12) {
+			t.Fatalf("%s: got %v", b, out)
+		}
+	}
+}
+
+func TestStackIsAComponentGraph(t *testing.T) {
+	s := NewStack("pp", NewRescale("a", 1).Component, NewClamp("b", 0, 1).Component)
+	if s.Component.NumComponents() != 3 {
+		t.Fatalf("components = %d", s.Component.NumComponents())
+	}
+	if s.Component.Sub("a") == nil || s.Component.Sub("b") == nil {
+		t.Fatal("stages not registered as sub-components")
+	}
+}

@@ -1,0 +1,84 @@
+// Package core is the façade over the paper's primary contribution: the
+// component-graph abstraction and its build/execution machinery. It
+// re-exports the key types so the whole programming model is importable from
+// one place:
+//
+//	root := core.NewComponent("my-algo")
+//	root.DefineAPI("act", ...)
+//	ex := core.NewStaticExecutor(root)          // or NewDefineByRunExecutor
+//	ex.Build(core.InputSpaces{"act": {space}})
+//	out, _ := ex.Execute("act", states)
+//
+// The implementation lives in internal/component (components, API methods,
+// graph functions, input-completeness), internal/exec (three-phase build,
+// executors, sub-graph testing), and internal/backend (the unified op set
+// graph functions are written against).
+package core
+
+import (
+	"rlgraph/internal/backend"
+	"rlgraph/internal/component"
+	"rlgraph/internal/exec"
+)
+
+// Component is the composable unit of RL algorithms (paper §3.2).
+type Component = component.Component
+
+// Rec is the data op record exchanged along component-graph edges.
+type Rec = component.Rec
+
+// Ctx carries one API traversal's phase and backend.
+type Ctx = component.Ctx
+
+// GraphFn is a backend-independent numerical graph function.
+type GraphFn = component.GraphFn
+
+// APIFunc is an API-method body.
+type APIFunc = component.APIFunc
+
+// Ops is the unified operation set available inside graph functions.
+type Ops = backend.Ops
+
+// Ref is an opaque backend value handle.
+type Ref = backend.Ref
+
+// Executor serves API calls against a built component graph.
+type Executor = exec.Executor
+
+// StaticExecutor compiles to a dataflow graph executed by sessions.
+type StaticExecutor = exec.StaticExecutor
+
+// DefineByRunExecutor evaluates graph-function call chains directly.
+type DefineByRunExecutor = exec.DefineByRunExecutor
+
+// ComponentTest builds components in isolation from spaces (paper
+// Listing 1).
+type ComponentTest = exec.ComponentTest
+
+// InputSpaces declares per-API input spaces for the build.
+type InputSpaces = exec.InputSpaces
+
+// BuildReport is the two-phase build cost breakdown.
+type BuildReport = exec.BuildReport
+
+// DeviceMap assigns devices to components by scope prefix.
+type DeviceMap = exec.DeviceMap
+
+// NewComponent returns a component with the given name.
+func NewComponent(name string) *Component { return component.New(name) }
+
+// NewStaticExecutor returns an unbuilt static-backend executor.
+func NewStaticExecutor(root *Component) *StaticExecutor { return exec.NewStatic(root) }
+
+// NewDefineByRunExecutor returns an unbuilt define-by-run executor.
+func NewDefineByRunExecutor(root *Component) *DefineByRunExecutor {
+	return exec.NewDefineByRun(root)
+}
+
+// NewComponentTest builds a component in isolation on the named backend.
+func NewComponentTest(backendName string, comp *Component, in InputSpaces) (*ComponentTest, error) {
+	return exec.NewComponentTest(backendName, comp, in)
+}
+
+// Backends lists the supported backend names.
+func Backends() []string { return exec.Backends() }

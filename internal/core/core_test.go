@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+// TestFacadeEndToEnd drives the whole programming model through the façade:
+// compose, build on both backends, execute.
+func TestFacadeEndToEnd(t *testing.T) {
+	for _, backendName := range Backends() {
+		root := NewComponent("doubler")
+		root.DefineAPI("double", func(ctx *Ctx, in []*Rec) []*Rec {
+			return root.GraphFn(ctx, "scale", 1, func(ops Ops, refs []Ref) []Ref {
+				return []Ref{ops.Scale(refs[0], 2)}
+			}, in...)
+		})
+		ct, err := NewComponentTest(backendName, root, InputSpaces{
+			"double": {spaces.NewFloatBox(2).WithBatchRank()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ct.Test1("double", tensor.FromSlice([]float64{1, 2}, 1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(tensor.FromSlice([]float64{2, 4}, 1, 2)) {
+			t.Fatalf("%s: got %v", backendName, out)
+		}
+	}
+}
+
+func TestFacadeExecutors(t *testing.T) {
+	root := NewComponent("c")
+	root.DefineAPI("id", func(ctx *Ctx, in []*Rec) []*Rec { return in })
+	var ex Executor = NewStaticExecutor(root)
+	if ex == nil {
+		t.Fatal("nil executor")
+	}
+	root2 := NewComponent("c2")
+	root2.DefineAPI("id", func(ctx *Ctx, in []*Rec) []*Rec { return in })
+	var ex2 Executor = NewDefineByRunExecutor(root2)
+	if ex2 == nil {
+		t.Fatal("nil executor")
+	}
+}

@@ -1,0 +1,141 @@
+// Package devices models local device resources — the substitute for real
+// GPUs (DESIGN.md §2). Device strategies in the executors charge their work
+// to a virtual clock through a cost model, so experiments like the paper's
+// synchronous multi-GPU comparison (Fig. 8) measure the strategy's effect on
+// time-to-reward without hardware.
+package devices
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a device.
+type Kind int
+
+const (
+	// CPU devices run host code.
+	CPU Kind = iota
+	// GPU devices run accelerated tensor work.
+	GPU
+)
+
+func (k Kind) String() string {
+	if k == GPU {
+		return "gpu"
+	}
+	return "cpu"
+}
+
+// Device describes one local device.
+type Device struct {
+	// Name is the device identifier, e.g. "gpu0".
+	Name string
+	// Kind classifies the device.
+	Kind Kind
+	// SamplesPerSec is the modelled update throughput.
+	SamplesPerSec float64
+}
+
+// Registry is the local device inventory an executor reads at initialization
+// (the paper's "local device information is read and compared against
+// user-defined device maps").
+type Registry struct {
+	mu      sync.Mutex
+	devices map[string]Device
+}
+
+// NewRegistry returns an inventory with the given devices.
+func NewRegistry(devs ...Device) *Registry {
+	r := &Registry{devices: make(map[string]Device, len(devs))}
+	for _, d := range devs {
+		r.devices[d.Name] = d
+	}
+	return r
+}
+
+// Lookup returns a device by name.
+func (r *Registry) Lookup(name string) (Device, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.devices[name]
+	return d, ok
+}
+
+// OfKind lists devices of a kind, name-sorted.
+func (r *Registry) OfKind(k Kind) []Device {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Device
+	for _, d := range r.devices {
+		if d.Kind == k {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DefaultRegistry models a learner node with the given GPU count.
+func DefaultRegistry(numGPUs int) *Registry {
+	devs := []Device{{Name: "cpu0", Kind: CPU, SamplesPerSec: 2000}}
+	for i := 0; i < numGPUs; i++ {
+		devs = append(devs, Device{
+			Name: fmt.Sprintf("gpu%d", i), Kind: GPU, SamplesPerSec: 20000,
+		})
+	}
+	return NewRegistry(devs...)
+}
+
+// Clock is a virtual wall clock in seconds.
+type Clock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// Now returns the virtual time.
+func (c *Clock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward.
+func (c *Clock) Advance(sec float64) {
+	if sec < 0 {
+		panic("devices: negative clock advance")
+	}
+	c.mu.Lock()
+	c.now += sec
+	c.mu.Unlock()
+}
+
+// UpdateCost models the time one learner update takes.
+type UpdateCost struct {
+	// OverheadSec is fixed per-update cost (kernel launch, sync, averaging
+	// of tower gradients).
+	OverheadSec float64
+	// The per-sample compute cost comes from the device's SamplesPerSec.
+}
+
+// SyncMultiGPUUpdateTime returns the virtual duration of one synchronous
+// multi-GPU update: the batch splits evenly across towers that run in
+// parallel, plus fixed overhead per additional tower for the gradient
+// average. Tower math is algebraically identical to the single large batch
+// (verified by TestTowerGradEquivalence), so the strategy changes time, not
+// learning.
+func SyncMultiGPUUpdateTime(batch int, gpus []Device, cost UpdateCost) float64 {
+	if len(gpus) == 0 {
+		panic("devices: no GPUs for multi-GPU update")
+	}
+	per := (batch + len(gpus) - 1) / len(gpus)
+	slowest := 0.0
+	for _, g := range gpus {
+		t := float64(per) / g.SamplesPerSec
+		if t > slowest {
+			slowest = t
+		}
+	}
+	return cost.OverheadSec*float64(len(gpus)) + slowest
+}

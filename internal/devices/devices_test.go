@@ -1,0 +1,92 @@
+package devices
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rlgraph/internal/graph"
+	"rlgraph/internal/tensor"
+)
+
+func TestRegistryLookupAndKinds(t *testing.T) {
+	r := DefaultRegistry(2)
+	if _, ok := r.Lookup("gpu1"); !ok {
+		t.Fatal("gpu1 missing")
+	}
+	gpus := r.OfKind(GPU)
+	if len(gpus) != 2 || gpus[0].Name != "gpu0" || gpus[1].Name != "gpu1" {
+		t.Fatalf("gpus = %v", gpus)
+	}
+	if len(r.OfKind(CPU)) != 1 {
+		t.Fatal("cpu missing")
+	}
+	if GPU.String() != "gpu" || CPU.String() != "cpu" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	c.Advance(0.5)
+	if c.Now() != 2 {
+		t.Fatalf("now = %g", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance accepted")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestSyncMultiGPUUpdateTimeScales(t *testing.T) {
+	cost := UpdateCost{OverheadSec: 0.001}
+	one := SyncMultiGPUUpdateTime(512, DefaultRegistry(1).OfKind(GPU), cost)
+	two := SyncMultiGPUUpdateTime(512, DefaultRegistry(2).OfKind(GPU), cost)
+	if !(two < one) {
+		t.Fatalf("2 GPUs (%gs) not faster than 1 (%gs)", two, one)
+	}
+	// Compute portion must halve exactly; overhead grows with towers.
+	computeOne := one - 0.001
+	computeTwo := two - 0.002
+	if math.Abs(computeTwo-computeOne/2) > 1e-12 {
+		t.Fatalf("compute did not halve: %g vs %g", computeOne, computeTwo)
+	}
+}
+
+// TestTowerGradEquivalence verifies the algebraic fact the multi-GPU
+// strategy relies on: for a shared-weight model, averaging sub-batch
+// gradients equals the full-batch gradient of the mean loss. This justifies
+// running multi-GPU learning as one large-batch update under a parallel-time
+// cost model (DESIGN.md §2).
+func TestTowerGradEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.RandNormal(rng, 0, 1, 3, 2)
+	xFull := tensor.RandNormal(rng, 0, 1, 8, 3)
+	yFull := tensor.RandNormal(rng, 0, 1, 8, 2)
+
+	gradOf := func(x, y *tensor.Tensor) *tensor.Tensor {
+		g := graph.New()
+		xp := graph.Placeholder(g, "x", x.Shape())
+		yp := graph.Placeholder(g, "y", y.Shape())
+		wc := graph.Const(g, w)
+		loss := graph.Mean(g, graph.Square(g, graph.Sub(g, graph.MatMul(g, xp, wc), yp)))
+		grads := graph.Gradients(g, loss, []*graph.Node{wc})
+		sess := graph.NewSession(g)
+		out, err := sess.Run1(grads[0], graph.Feeds{xp: x, yp: y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	full := gradOf(xFull, yFull)
+	g1 := gradOf(tensor.SliceRows(xFull, 0, 4), tensor.SliceRows(yFull, 0, 4))
+	g2 := gradOf(tensor.SliceRows(xFull, 4, 8), tensor.SliceRows(yFull, 4, 8))
+	avg := tensor.Scale(tensor.Add(g1, g2), 0.5)
+	if !avg.AllClose(full, 1e-9) {
+		t.Fatal("averaged tower gradients differ from full-batch gradient")
+	}
+}

@@ -1,0 +1,403 @@
+// Package distexec implements distributed executors on top of the raysim
+// actor engine: the Ape-X executor (distributed prioritized experience
+// replay — workers, replay shards, one learner; Horgan et al. 2018) and the
+// IMPALA executor (queue-fed actor-learner; Espeholt et al. 2018). They
+// realize the paper's separation of concerns: agents define local graphs,
+// executors own all distributed coordination (§4.1).
+package distexec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/components/memories"
+	"rlgraph/internal/exec"
+	"rlgraph/internal/execution"
+	"rlgraph/internal/raysim"
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+// SampleWorker abstracts the two worker implementations (RLgraph-style
+// batched vs RLlib-style incremental) so the executor runs either.
+type SampleWorker interface {
+	// Sample collects one task of transitions.
+	Sample(numSteps int) (*execution.Batch, error)
+	// SetWeights installs learner weights.
+	SetWeights(map[string]*tensor.Tensor) error
+	// MeanReward reports recent episode returns.
+	MeanReward(n int) (float64, bool)
+}
+
+// ApexConfig parameterizes the Ape-X run.
+type ApexConfig struct {
+	// NumWorkers is the number of sample-collection actors.
+	NumWorkers int
+	// TaskSize is the number of act/step iterations per sample task.
+	TaskSize int
+	// NumReplayShards is the number of replay-memory actors.
+	NumReplayShards int
+	// ReplayCapacity is the per-shard record capacity.
+	ReplayCapacity int
+	// Alpha/Beta are prioritized-replay exponents.
+	Alpha, Beta float64
+	// BatchSize is the learner batch size.
+	BatchSize int
+	// SyncWeightsEvery broadcasts learner weights every N updates.
+	SyncWeightsEvery int
+	// MinReplaySize gates learning until shards hold enough records.
+	MinReplaySize int
+	// Cluster tunes the actor engine's cost model.
+	Cluster raysim.Config
+}
+
+func (c *ApexConfig) withDefaults() ApexConfig {
+	out := *c
+	if out.NumWorkers == 0 {
+		out.NumWorkers = 4
+	}
+	if out.TaskSize == 0 {
+		out.TaskSize = 50
+	}
+	if out.NumReplayShards == 0 {
+		out.NumReplayShards = 2
+	}
+	if out.ReplayCapacity == 0 {
+		out.ReplayCapacity = 50000
+	}
+	if out.Alpha == 0 {
+		out.Alpha = 0.6
+	}
+	if out.Beta == 0 {
+		out.Beta = 0.4
+	}
+	if out.BatchSize == 0 {
+		out.BatchSize = 64
+	}
+	if out.SyncWeightsEvery == 0 {
+		out.SyncWeightsEvery = 25
+	}
+	if out.MinReplaySize == 0 {
+		out.MinReplaySize = out.BatchSize * 2
+	}
+	return out
+}
+
+// RewardPoint is one timeline sample for learning curves.
+type RewardPoint struct {
+	// Seconds since the run started.
+	Seconds float64
+	// MeanReward over recent finished episodes across workers.
+	MeanReward float64
+}
+
+// ApexResult aggregates a run's metrics.
+type ApexResult struct {
+	// Frames is total environment frames collected (including frame-skip).
+	Frames int64
+	// Elapsed is the wall-clock run duration.
+	Elapsed time.Duration
+	// FPS is Frames/Elapsed.
+	FPS float64
+	// Updates is the number of learner updates applied.
+	Updates int
+	// ActorCalls counts remote calls issued on the engine.
+	ActorCalls int64
+	// Timeline holds reward-vs-time samples (learning-curve runs).
+	Timeline []RewardPoint
+	// SolvedAt is the first timeline point reaching the target (nil if
+	// never reached).
+	SolvedAt *RewardPoint
+}
+
+// replayShard is the remote prioritized memory, built as a standalone
+// component graph (define-by-run backend: native storage, no session).
+type replayShard struct {
+	ct   *exec.ComponentTest
+	mem  *memories.PrioritizedReplay
+	size int64
+}
+
+func newReplayShard(name string, capacity int, alpha, beta float64, stateSpace spaces.Space, seed int64) (*replayShard, error) {
+	mem := memories.NewPrioritizedReplay(name, capacity, 5, alpha, beta, seed)
+	sB := stateSpace.WithBatchRank()
+	fB := spaces.NewFloatBox().WithBatchRank()
+	ct, err := exec.NewComponentTest("define-by-run", mem.Component, exec.InputSpaces{
+		"insert":                 {sB, fB, fB, sB, fB},
+		"insert_with_priorities": {sB, fB, fB, sB, fB, fB},
+		"sample":                 {spaces.NewFloatBox()},
+		"update":                 {fB, fB},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &replayShard{ct: ct, mem: mem}, nil
+}
+
+// ApexExecutor coordinates workers, replay shards and the learner.
+type ApexExecutor struct {
+	cfg     ApexConfig
+	cluster *raysim.Cluster
+	learner *agents.DQN
+
+	workers []*raysim.ActorRef
+	shards  []*raysim.ActorRef
+	shardSt []*replayShard
+
+	frames  int64
+	updates int
+}
+
+// NewApex wires the executor: workerFactory builds each worker's local
+// agent+envs (called once per worker), learner is the central learner agent
+// (already built), stateSpace shapes the replay shards.
+func NewApex(cfg ApexConfig, learner *agents.DQN, stateSpace spaces.Space,
+	workerFactory func(i int) (SampleWorker, error)) (*ApexExecutor, error) {
+	cfg = cfg.withDefaults()
+	e := &ApexExecutor{cfg: cfg, cluster: raysim.NewCluster(cfg.Cluster), learner: learner}
+
+	for i := 0; i < cfg.NumReplayShards; i++ {
+		shard, err := newReplayShard(fmt.Sprintf("replay-%d", i), cfg.ReplayCapacity,
+			cfg.Alpha, cfg.Beta, stateSpace, int64(1000+i))
+		if err != nil {
+			return nil, err
+		}
+		e.shardSt = append(e.shardSt, shard)
+		sh := shard
+		e.shards = append(e.shards, e.cluster.NewActor(fmt.Sprintf("replay-%d", i), raysim.Behavior{
+			"insert": func(args []interface{}) (interface{}, error) {
+				b := args[0].(*execution.Batch)
+				if b.Len() == 0 {
+					return 0, nil
+				}
+				var err error
+				if b.Prio != nil {
+					_, err = sh.ct.Test("insert_with_priorities", b.S, b.A, b.R, b.NS, b.T, b.Prio)
+				} else {
+					_, err = sh.ct.Test("insert", b.S, b.A, b.R, b.NS, b.T)
+				}
+				if err != nil {
+					return nil, err
+				}
+				atomic.StoreInt64(&sh.size, int64(sh.mem.Size()))
+				return sh.mem.Size(), nil
+			},
+			"sample": func(args []interface{}) (interface{}, error) {
+				n := args[0].(int)
+				outs, err := sh.ct.Test("sample", tensor.Scalar(float64(n)))
+				if err != nil {
+					return nil, err
+				}
+				return outs, nil
+			},
+			"update_priorities": func(args []interface{}) (interface{}, error) {
+				_, err := sh.ct.Test("update", args[0].(*tensor.Tensor), args[1].(*tensor.Tensor))
+				return nil, err
+			},
+		}))
+	}
+
+	for i := 0; i < cfg.NumWorkers; i++ {
+		w, err := workerFactory(i)
+		if err != nil {
+			return nil, err
+		}
+		ww := w
+		e.workers = append(e.workers, e.cluster.NewActor(fmt.Sprintf("worker-%d", i), raysim.Behavior{
+			"sample": func(args []interface{}) (interface{}, error) {
+				return ww.Sample(args[0].(int))
+			},
+			"set_weights": func(args []interface{}) (interface{}, error) {
+				return nil, ww.SetWeights(args[0].(map[string]*tensor.Tensor))
+			},
+			"mean_reward": func(args []interface{}) (interface{}, error) {
+				m, ok := ww.MeanReward(args[0].(int))
+				if !ok {
+					return nil, fmt.Errorf("no episodes finished")
+				}
+				return m, nil
+			},
+		}))
+	}
+	return e, nil
+}
+
+// Cluster exposes the actor engine (for call counts in benches).
+func (e *ApexExecutor) Cluster() *raysim.Cluster { return e.cluster }
+
+// RunOptions controls a run's stopping condition and measurement cadence.
+type RunOptions struct {
+	// Duration stops the run after this wall time.
+	Duration time.Duration
+	// TargetReward, when non-zero, also stops once the mean worker reward
+	// reaches it.
+	TargetReward float64
+	// SampleTimelineEvery controls learning-curve sampling (0 = off).
+	SampleTimelineEvery time.Duration
+	// DisableUpdates turns the learner off (sampling-throughput-only runs,
+	// the configuration the paper notes RLlib's published numbers used).
+	DisableUpdates bool
+}
+
+// Run drives the Ape-X loop until the stopping condition and reports
+// aggregate metrics.
+func (e *ApexExecutor) Run(opt RunOptions) (*ApexResult, error) {
+	start := time.Now()
+	deadline := start.Add(opt.Duration)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var firstErr error
+	var errMu sync.Mutex
+	recordErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		halt()
+	}
+
+	// Sample feeders: one pipeline per worker actor, inserting into shards
+	// round-robin.
+	var wg sync.WaitGroup
+	for wi, w := range e.workers {
+		wg.Add(1)
+		go func(wi int, w *raysim.ActorRef) {
+			defer wg.Done()
+			shard := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := w.Call("sample", e.cfg.TaskSize).Get()
+				if err != nil {
+					recordErr(err)
+					return
+				}
+				b := v.(*execution.Batch)
+				atomic.AddInt64(&e.frames, int64(b.Frames))
+				if _, err := e.shards[shard%len(e.shards)].Call("insert", b).Get(); err != nil {
+					recordErr(err)
+					return
+				}
+				shard++
+			}
+		}(wi, w)
+	}
+
+	// Timeline sampler.
+	var timeline []RewardPoint
+	var solved *RewardPoint
+	var tlMu sync.Mutex
+	if opt.SampleTimelineEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(opt.SampleTimelineEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					sum, n := 0.0, 0
+					for _, w := range e.workers {
+						if v, err := w.Call("mean_reward", 20).Get(); err == nil {
+							sum += v.(float64)
+							n++
+						}
+					}
+					if n == 0 {
+						continue
+					}
+					pt := RewardPoint{Seconds: time.Since(start).Seconds(), MeanReward: sum / float64(n)}
+					tlMu.Lock()
+					timeline = append(timeline, pt)
+					if solved == nil && opt.TargetReward != 0 && pt.MeanReward >= opt.TargetReward {
+						p := pt
+						solved = &p
+						tlMu.Unlock()
+						halt()
+						continue
+					}
+					tlMu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// Learner loop (this goroutine): pull batches shard-round-robin,
+	// update, push priorities, broadcast weights.
+	shard := 0
+	for time.Now().Before(deadline) {
+		select {
+		case <-stop:
+		default:
+		}
+		if stopped(stop) {
+			break
+		}
+		if opt.DisableUpdates {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		sh := e.shardSt[shard%len(e.shardSt)]
+		if int(atomic.LoadInt64(&sh.size)) < e.cfg.MinReplaySize {
+			shard++
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		v, err := e.shards[shard%len(e.shards)].Call("sample", e.cfg.BatchSize).Get()
+		if err != nil {
+			recordErr(err)
+			break
+		}
+		outs := v.([]*tensor.Tensor)
+		s, a, r, ns, t, idx, w := outs[0], outs[1], outs[2], outs[3], outs[4], outs[5], outs[6]
+		_, td, err := e.learner.UpdateExternal(s, a, r, ns, t, w)
+		if err != nil {
+			recordErr(err)
+			break
+		}
+		e.shards[shard%len(e.shards)].Call("update_priorities", idx, td)
+		e.updates++
+		shard++
+		if e.updates%e.cfg.SyncWeightsEvery == 0 {
+			weights := e.learner.GetWeights()
+			for _, wk := range e.workers {
+				wk.Call("set_weights", weights)
+			}
+		}
+	}
+	halt()
+	wg.Wait()
+	e.cluster.StopAll()
+
+	elapsed := time.Since(start)
+	res := &ApexResult{
+		Frames:     atomic.LoadInt64(&e.frames),
+		Elapsed:    elapsed,
+		FPS:        float64(atomic.LoadInt64(&e.frames)) / elapsed.Seconds(),
+		Updates:    e.updates,
+		ActorCalls: atomic.LoadInt64(&e.cluster.Calls),
+		Timeline:   timeline,
+		SolvedAt:   solved,
+	}
+	return res, firstErr
+}
+
+func stopped(stop chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,101 @@
+package distexec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/envs"
+	"rlgraph/internal/execution"
+	"rlgraph/internal/tensor"
+)
+
+// faultyWorker fails after a configurable number of sample tasks —
+// failure-injection for the executor's error path.
+type faultyWorker struct {
+	inner    SampleWorker
+	failAt   int
+	sampled  int
+	failWith error
+}
+
+func (f *faultyWorker) Sample(n int) (*execution.Batch, error) {
+	f.sampled++
+	if f.sampled >= f.failAt {
+		return nil, f.failWith
+	}
+	return f.inner.Sample(n)
+}
+
+func (f *faultyWorker) SetWeights(w map[string]*tensor.Tensor) error {
+	return f.inner.SetWeights(w)
+}
+
+func (f *faultyWorker) MeanReward(n int) (float64, bool) { return f.inner.MeanReward(n) }
+
+func TestApexSurfacesWorkerFailure(t *testing.T) {
+	env := gridEnvFactory(11)
+	learner := newDQN(t, env, 44)
+	boom := errors.New("env crashed")
+	ex, err := NewApex(ApexConfig{NumWorkers: 1, TaskSize: 5, NumReplayShards: 1,
+		ReplayCapacity: 100, BatchSize: 8}, learner, env.StateSpace(),
+		func(i int) (SampleWorker, error) {
+			agent := newDQN(t, env, int64(i+80))
+			vec := vecOf(int64(90 + i))
+			w := execution.NewWorker(agent, vec, execution.WorkerConfig{NStep: 1, Gamma: 0.99})
+			return &faultyWorker{inner: w, failAt: 3, failWith: boom}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Run(RunOptions{Duration: 5 * time.Second})
+	if err == nil {
+		t.Fatal("worker failure not surfaced")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("wrong error: %v", err)
+	}
+	// The run must still terminate promptly and report partial progress.
+	if res == nil || res.Elapsed > 4*time.Second {
+		t.Fatalf("run did not stop promptly on failure: %+v", res)
+	}
+}
+
+// vecOf builds a one-env vector for failure tests.
+func vecOf(seed int64) *envs.VectorEnv {
+	return envs.NewVectorEnv(gridEnvFactory(seed))
+}
+
+func TestApexWorkerFactoryErrorAbortsConstruction(t *testing.T) {
+	env := gridEnvFactory(12)
+	learner := newDQN(t, env, 45)
+	boom := errors.New("no such device")
+	_, err := NewApex(ApexConfig{NumWorkers: 2}, learner, env.StateSpace(),
+		func(i int) (SampleWorker, error) {
+			if i == 1 {
+				return nil, boom
+			}
+			agent := newDQN(t, env, int64(i))
+			return execution.NewWorker(agent, vecOf(7), execution.WorkerConfig{NStep: 1, Gamma: 0.9}), nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("factory error not surfaced: %v", err)
+	}
+}
+
+func TestIMPALAActorFailureSurfaces(t *testing.T) {
+	env := gridEnvFactory(13)
+	learner := newIMPALA(t, env, 46)
+	ex, err := NewIMPALAExec(IMPALAConfig{NumActors: 1, QueueCapacity: 2},
+		learner, env.StateSpace(), func(i int) (*agents.IMPALA, envs.Env, error) {
+			return newIMPALA(t, env, int64(i)), gridEnvFactory(int64(70 + i)), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy short run must not error.
+	if _, err := ex.Run(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,307 @@
+package distexec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/components/misc"
+	"rlgraph/internal/envs"
+	"rlgraph/internal/exec"
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+// IMPALAConfig parameterizes the actor-learner run.
+type IMPALAConfig struct {
+	// NumActors is the number of rollout-producing actors.
+	NumActors int
+	// QueueCapacity bounds the shared rollout queue.
+	QueueCapacity int
+	// BatchRollouts is how many rollouts the learner consumes per update.
+	BatchRollouts int
+	// SyncWeightsEvery pulls fresh weights into actors every N rollouts.
+	SyncWeightsEvery int
+	// FramesPerStep is the env frame multiplier for accounting.
+	FramesPerStep int
+	// BaselineOverheads enables the DeepMind-reference inefficiencies
+	// (redundant actor variable assignments, unstage preprocessing copies)
+	// the paper identified; see internal/baselines/dmimpala.
+	BaselineOverheads bool
+}
+
+func (c *IMPALAConfig) withDefaults() IMPALAConfig {
+	out := *c
+	if out.NumActors == 0 {
+		out.NumActors = 4
+	}
+	if out.QueueCapacity == 0 {
+		out.QueueCapacity = 16
+	}
+	if out.BatchRollouts == 0 {
+		out.BatchRollouts = 1
+	}
+	if out.SyncWeightsEvery == 0 {
+		out.SyncWeightsEvery = 1
+	}
+	if out.FramesPerStep == 0 {
+		out.FramesPerStep = 1
+	}
+	return out
+}
+
+// Rollout is one actor-produced trajectory of length T.
+type Rollout struct {
+	States       *tensor.Tensor // [T, S...]
+	Actions      *tensor.Tensor // [T]
+	Rewards      *tensor.Tensor // [T]
+	Discounts    *tensor.Tensor // [T]
+	BehaviorLogp *tensor.Tensor // [T]
+	Bootstrap    *tensor.Tensor // [1, S...]
+	Frames       int
+}
+
+// IMPALAResult aggregates a run's metrics.
+type IMPALAResult struct {
+	Frames   int64
+	Elapsed  time.Duration
+	FPS      float64
+	Updates  int
+	Rollouts int64
+}
+
+// IMPALAExecutor runs the queue-fed actor-learner architecture: actors step
+// their own environment copies with (periodically refreshed) policy weights,
+// push fixed-length rollouts into the globally shared blocking queue, and
+// the learner dequeues through a staging area and applies V-trace updates —
+// the structure of the paper's Fig. 9 workload.
+type IMPALAExecutor struct {
+	cfg     IMPALAConfig
+	learner *agents.IMPALA
+	actors  []*agents.IMPALA
+	envsL   []envs.Env
+
+	queue   *misc.FIFOQueue
+	queueCT *exec.ComponentTest
+	staging *misc.StagingArea
+	stageCT *exec.ComponentTest
+
+	frames   int64
+	rollouts int64
+	updates  int
+
+	// learnerMu serializes learner weight reads (actors) against updates
+	// (learner loop) — the parameter-server consistency point.
+	learnerMu sync.Mutex
+}
+
+// NewIMPALAExec wires the executor. learner must be built; actorFactory
+// returns a built actor agent plus its environment.
+func NewIMPALAExec(cfg IMPALAConfig, learner *agents.IMPALA, stateSpace spaces.Space,
+	actorFactory func(i int) (*agents.IMPALA, envs.Env, error)) (*IMPALAExecutor, error) {
+	cfg = cfg.withDefaults()
+	e := &IMPALAExecutor{cfg: cfg, learner: learner}
+
+	for i := 0; i < cfg.NumActors; i++ {
+		a, env, err := actorFactory(i)
+		if err != nil {
+			return nil, err
+		}
+		e.actors = append(e.actors, a)
+		e.envsL = append(e.envsL, env)
+	}
+
+	// Shared blocking queue and staging area, built as component graphs.
+	sB := stateSpace.WithBatchRank()
+	fB := spaces.NewFloatBox().WithBatchRank()
+	e.queue = misc.NewFIFOQueue("rollout-queue", cfg.QueueCapacity, 6)
+	var err error
+	e.queueCT, err = exec.NewComponentTest("define-by-run", e.queue.Component, exec.InputSpaces{
+		"enqueue": {sB, fB, fB, fB, fB, sB},
+		"dequeue": {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.staging = misc.NewStagingArea("staging", 6)
+	e.stageCT, err = exec.NewComponentTest("define-by-run", e.staging.Component, exec.InputSpaces{
+		"put": {sB, fB, fB, fB, fB, sB},
+		"get": {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// collectRollout runs T steps in the actor's env.
+func (e *IMPALAExecutor) collectRollout(a *agents.IMPALA, env envs.Env, state *tensor.Tensor) (*Rollout, *tensor.Tensor, error) {
+	T := a.RolloutLen()
+	gamma := a.Gamma()
+	var states, nexts []*tensor.Tensor
+	actions := make([]float64, T)
+	rewards := make([]float64, T)
+	discounts := make([]float64, T)
+	logps := make([]float64, T)
+
+	cur := state
+	for t := 0; t < T; t++ {
+		st := cur.Reshape(append([]int{1}, cur.Shape()...)...)
+		acts, logp, err := a.ActSample(st)
+		if err != nil {
+			return nil, nil, err
+		}
+		action := int(acts.Data()[0])
+		next, r, done := env.Step(action)
+		states = append(states, cur)
+		actions[t] = float64(action)
+		rewards[t] = r
+		logps[t] = logp.Data()[0]
+		if done {
+			discounts[t] = 0
+			next = env.Reset()
+		} else {
+			discounts[t] = gamma
+		}
+		nexts = append(nexts, next)
+		cur = next
+	}
+	ro := &Rollout{
+		States:       tensor.Stack(states...),
+		Actions:      tensor.FromSlice(actions, T),
+		Rewards:      tensor.FromSlice(rewards, T),
+		Discounts:    tensor.FromSlice(discounts, T),
+		BehaviorLogp: tensor.FromSlice(logps, T),
+		Bootstrap:    tensor.Stack(nexts[T-1]),
+		Frames:       T * e.cfg.FramesPerStep,
+	}
+	return ro, cur, nil
+}
+
+// Run drives actors and learner until the wall-clock duration elapses.
+func (e *IMPALAExecutor) Run(duration time.Duration) (*IMPALAResult, error) {
+	start := time.Now()
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var firstErr error
+	var errMu sync.Mutex
+	recordErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		halt()
+	}
+
+	var wg sync.WaitGroup
+	for i, a := range e.actors {
+		wg.Add(1)
+		go func(i int, a *agents.IMPALA) {
+			defer wg.Done()
+			env := e.envsL[i]
+			state := env.Reset()
+			n := 0
+			for {
+				if stopped(stop) {
+					return
+				}
+				// Refresh policy weights from the learner.
+				if n%e.cfg.SyncWeightsEvery == 0 {
+					e.learnerMu.Lock()
+					w := e.learner.GetWeights()
+					e.learnerMu.Unlock()
+					if err := a.SetWeights(w); err != nil {
+						recordErr(err)
+						return
+					}
+					if e.cfg.BaselineOverheads {
+						// DM reference: redundant variable assignments in
+						// the actor (paper §5.1) — weight tensors are
+						// re-assigned although nothing changed. The
+						// reference executed these inside each actor step;
+						// we charge the equivalent total per rollout.
+						for k := 0; k < 2; k++ {
+							if err := a.SetWeights(a.GetWeights()); err != nil {
+								recordErr(err)
+								return
+							}
+						}
+					}
+				}
+				ro, next, err := e.collectRollout(a, env, state)
+				if err != nil {
+					recordErr(err)
+					return
+				}
+				state = next
+				if _, err := e.queueCT.Test("enqueue",
+					ro.States, ro.Actions, ro.Rewards, ro.Discounts,
+					ro.BehaviorLogp, ro.Bootstrap); err != nil {
+					if stopped(stop) {
+						return
+					}
+					recordErr(err)
+					return
+				}
+				atomic.AddInt64(&e.frames, int64(ro.Frames))
+				atomic.AddInt64(&e.rollouts, 1)
+				n++
+			}
+		}(i, a)
+	}
+
+	// Learner: dequeue → stage → update. The staging area gives the
+	// one-batch pipeline delay that hides transfer latency on real GPUs.
+	deadline := start.Add(duration)
+	for time.Now().Before(deadline) && !stopped(stop) {
+		outs, err := e.queueCT.Test("dequeue")
+		if err != nil {
+			break
+		}
+		if e.cfg.BaselineOverheads {
+			// DM reference: unneeded preprocessing of tensors after
+			// unstaging — extra full copies of the batch.
+			for i := range outs {
+				outs[i] = outs[i].Clone()
+				outs[i] = tensor.Scale(outs[i], 1)
+			}
+		}
+		if _, err := e.stageCT.Test("put", outs...); err != nil {
+			recordErr(err)
+			break
+		}
+		if e.staging.Depth() < 2 {
+			continue // fill the pipeline before the first update
+		}
+		staged, err := e.stageCT.Test("get")
+		if err != nil {
+			recordErr(err)
+			break
+		}
+		e.learnerMu.Lock()
+		_, err = e.learner.UpdateRollout(
+			staged[0], staged[1], staged[2], staged[3], staged[4], staged[5])
+		e.learnerMu.Unlock()
+		if err != nil {
+			recordErr(err)
+			break
+		}
+		e.updates++
+	}
+	halt()
+	e.queue.Close()
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	return &IMPALAResult{
+		Frames:   atomic.LoadInt64(&e.frames),
+		Elapsed:  elapsed,
+		FPS:      float64(atomic.LoadInt64(&e.frames)) / elapsed.Seconds(),
+		Updates:  e.updates,
+		Rollouts: atomic.LoadInt64(&e.rollouts),
+	}, firstErr
+}

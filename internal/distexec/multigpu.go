@@ -1,0 +1,71 @@
+package distexec
+
+import (
+	"time"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/devices"
+	"rlgraph/internal/execution"
+	"rlgraph/internal/tensor"
+)
+
+// MultiGPULearner applies the synchronous multi-GPU device strategy (paper
+// §4.1, Fig. 8): each update batch is split into one sub-batch per GPU
+// tower, towers compute gradients in parallel, and the averaged gradients
+// update the shared weights. Because the towers share weights, the averaged
+// tower update is algebraically identical to one large-batch update (see
+// TestTowerGradEquivalence); the strategy's effect is on *time*, which the
+// simulated device model charges to a virtual clock.
+type MultiGPULearner struct {
+	Agent *agents.DQN
+	GPUs  []devices.Device
+	Cost  devices.UpdateCost
+	Clock *devices.Clock
+
+	// Updates counts applied updates.
+	Updates int
+}
+
+// NewMultiGPULearner wraps a built learner agent with a device strategy over
+// the registry's GPUs.
+func NewMultiGPULearner(agent *agents.DQN, reg *devices.Registry, cost devices.UpdateCost, clock *devices.Clock) *MultiGPULearner {
+	return &MultiGPULearner{
+		Agent: agent,
+		GPUs:  reg.OfKind(devices.GPU),
+		Cost:  cost,
+		Clock: clock,
+	}
+}
+
+// Update applies one synchronous multi-tower update and advances the virtual
+// clock by the modelled parallel execution time. Agents built with
+// NumGPUs > 1 run the expanded tower graph (update_multigpu); others run the
+// algebraically identical full-batch update.
+func (m *MultiGPULearner) Update(b *execution.Batch) (float64, error) {
+	w := tensor.Ones(b.Len())
+	var loss float64
+	var err error
+	if m.Agent.NumGPUs() > 1 {
+		loss, _, err = m.Agent.UpdateMultiGPU(b.S, b.A, b.R, b.NS, b.T, w)
+	} else {
+		loss, _, err = m.Agent.UpdateExternal(b.S, b.A, b.R, b.NS, b.T, w)
+	}
+	if err != nil {
+		return 0, err
+	}
+	m.Clock.Advance(devices.SyncMultiGPUUpdateTime(b.Len(), m.GPUs, m.Cost))
+	m.Updates++
+	return loss, nil
+}
+
+// ChargeSampling advances the virtual clock for sample collection (the same
+// per-frame cost regardless of GPU count, so curves differ only through
+// update time).
+func (m *MultiGPULearner) ChargeSampling(frames int, secPerFrame float64) {
+	m.Clock.Advance(float64(frames) * secPerFrame)
+}
+
+// Elapsed reports virtual seconds.
+func (m *MultiGPULearner) Elapsed() time.Duration {
+	return time.Duration(m.Clock.Now() * float64(time.Second))
+}

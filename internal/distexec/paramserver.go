@@ -1,0 +1,104 @@
+package distexec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rlgraph/internal/tensor"
+)
+
+// ParameterServer is the distributed-TensorFlow-style global variable store
+// (paper Fig. 4, right column): one process owns the global weights, the
+// learner pushes updated values, and workers pull snapshots — with version
+// numbers so executors can measure and bound staleness. All methods are safe
+// for concurrent use.
+type ParameterServer struct {
+	mu      sync.RWMutex
+	weights map[string]*tensor.Tensor
+	version int64
+
+	// Pushes and Pulls count synchronization operations (read with
+	// PushCount/PullCount).
+	pushes, pulls int64
+}
+
+// NewParameterServer initializes the global variables from a snapshot.
+func NewParameterServer(init map[string]*tensor.Tensor) *ParameterServer {
+	ps := &ParameterServer{weights: make(map[string]*tensor.Tensor, len(init))}
+	for k, v := range init {
+		ps.weights[k] = v.Clone()
+	}
+	return ps
+}
+
+// Version returns the current weight version (increments on every write).
+func (ps *ParameterServer) Version() int64 {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return ps.version
+}
+
+// Pull returns a deep-copied snapshot and its version.
+func (ps *ParameterServer) Pull() (map[string]*tensor.Tensor, int64) {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	out := make(map[string]*tensor.Tensor, len(ps.weights))
+	for k, v := range ps.weights {
+		out[k] = v.Clone()
+	}
+	atomic.AddInt64(&ps.pulls, 1)
+	return out, ps.version
+}
+
+// Push replaces the global weights (synchronous learner → PS) and returns
+// the new version.
+func (ps *ParameterServer) Push(weights map[string]*tensor.Tensor) (int64, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for k, v := range weights {
+		cur, ok := ps.weights[k]
+		if !ok {
+			return 0, fmt.Errorf("distexec: parameter server has no variable %q", k)
+		}
+		if !tensor.SameShape(cur.Shape(), v.Shape()) {
+			return 0, fmt.Errorf("distexec: push shape mismatch for %q: %v vs %v",
+				k, cur.Shape(), v.Shape())
+		}
+		ps.weights[k] = v.Clone()
+	}
+	ps.version++
+	atomic.AddInt64(&ps.pushes, 1)
+	return ps.version, nil
+}
+
+// ApplyDelta adds scale*delta into the global weights (asynchronous
+// Downpour-style workers) and returns the new version.
+func (ps *ParameterServer) ApplyDelta(delta map[string]*tensor.Tensor, scale float64) (int64, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for k, d := range delta {
+		cur, ok := ps.weights[k]
+		if !ok {
+			return 0, fmt.Errorf("distexec: parameter server has no variable %q", k)
+		}
+		if !tensor.SameShape(cur.Shape(), d.Shape()) {
+			return 0, fmt.Errorf("distexec: delta shape mismatch for %q", k)
+		}
+		tensor.AddInPlace(cur, tensor.Scale(d, scale))
+	}
+	ps.version++
+	atomic.AddInt64(&ps.pushes, 1)
+	return ps.version, nil
+}
+
+// PushCount returns the number of writes applied.
+func (ps *ParameterServer) PushCount() int64 { return atomic.LoadInt64(&ps.pushes) }
+
+// PullCount returns the number of snapshots served.
+func (ps *ParameterServer) PullCount() int64 { return atomic.LoadInt64(&ps.pulls) }
+
+// Staleness returns how many versions behind a pulled snapshot is.
+func (ps *ParameterServer) Staleness(pulledVersion int64) int64 {
+	return ps.Version() - pulledVersion
+}

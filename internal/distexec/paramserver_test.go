@@ -1,0 +1,200 @@
+package distexec
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/tensor"
+)
+
+func psInit() map[string]*tensor.Tensor {
+	return map[string]*tensor.Tensor{
+		"w": tensor.FromSlice([]float64{1, 2}, 2),
+		"b": tensor.Scalar(0),
+	}
+}
+
+func TestParameterServerPushPull(t *testing.T) {
+	ps := NewParameterServer(psInit())
+	w, v0 := ps.Pull()
+	if v0 != 0 || w["w"].Data()[0] != 1 {
+		t.Fatalf("initial pull: v=%d w=%v", v0, w["w"])
+	}
+	// Pull is a deep copy.
+	w["w"].Data()[0] = 99
+	w2, _ := ps.Pull()
+	if w2["w"].Data()[0] != 1 {
+		t.Fatal("pull aliased storage")
+	}
+	v1, err := ps.Push(map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{5, 6}, 2)})
+	if err != nil || v1 != 1 {
+		t.Fatalf("push: v=%d err=%v", v1, err)
+	}
+	w3, v := ps.Pull()
+	if v != 1 || w3["w"].Data()[1] != 6 {
+		t.Fatal("push not visible")
+	}
+	if ps.Staleness(v0) != 1 {
+		t.Fatalf("staleness = %d", ps.Staleness(v0))
+	}
+}
+
+func TestParameterServerValidation(t *testing.T) {
+	ps := NewParameterServer(psInit())
+	if _, err := ps.Push(map[string]*tensor.Tensor{"nope": tensor.Scalar(1)}); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+	if _, err := ps.Push(map[string]*tensor.Tensor{"w": tensor.New(3)}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := ps.ApplyDelta(map[string]*tensor.Tensor{"zzz": tensor.Scalar(1)}, 1); err == nil {
+		t.Fatal("unknown delta accepted")
+	}
+}
+
+func TestParameterServerApplyDeltaAccumulates(t *testing.T) {
+	ps := NewParameterServer(psInit())
+	delta := map[string]*tensor.Tensor{"b": tensor.Scalar(2)}
+	if _, err := ps.ApplyDelta(delta, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.ApplyDelta(delta, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	w, v := ps.Pull()
+	if w["b"].Item() != 2 {
+		t.Fatalf("b = %g, want 2", w["b"].Item())
+	}
+	if v != 2 {
+		t.Fatalf("version = %d", v)
+	}
+}
+
+// TestParameterServerConcurrentWorkers mimics the distributed-TF pattern:
+// many async workers applying deltas while readers pull snapshots. The final
+// sum must equal the total applied mass (no lost updates).
+func TestParameterServerConcurrentWorkers(t *testing.T) {
+	ps := NewParameterServer(map[string]*tensor.Tensor{"acc": tensor.Scalar(0)})
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := ps.ApplyDelta(map[string]*tensor.Tensor{"acc": tensor.Scalar(1)}, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				ps.Pull()
+			}
+		}()
+	}
+	wg.Wait()
+	w, v := ps.Pull()
+	if w["acc"].Item() != workers*perWorker {
+		t.Fatalf("acc = %g, want %d (lost updates)", w["acc"].Item(), workers*perWorker)
+	}
+	if v != workers*perWorker {
+		t.Fatalf("version = %d", v)
+	}
+	if ps.PullCount() == 0 || ps.PushCount() == 0 {
+		t.Fatal("counters not maintained")
+	}
+}
+
+// TestParameterServerWithAgents runs the learner→PS→worker weight path with
+// real agents, as the distributed-TF executor would.
+func TestParameterServerWithAgents(t *testing.T) {
+	env := gridEnvFactory(9)
+	learner := newDQN(t, env, 1)
+	worker := newDQN(t, env, 2)
+	ps := NewParameterServer(learner.GetWeights())
+
+	// Learner improves, pushes; worker pulls and matches.
+	learner.GetWeights() // no-op read
+	if _, err := ps.Push(learner.GetWeights()); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := ps.Pull()
+	if err := worker.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	st := tensor.Ones(1, 9)
+	ql, err := learner.GetQValues(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qw, err := worker.GetQValues(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ql.AllClose(qw, 1e-12) {
+		t.Fatal("PS round trip did not align policies")
+	}
+}
+
+// TestAsyncPSTraining runs Downpour-style asynchronous training: workers
+// learn locally and publish weight deltas through the parameter server.
+// With a shared quadratic objective (all workers see the same data), the
+// global weights must improve despite staleness.
+func TestAsyncPSTraining(t *testing.T) {
+	env := gridEnvFactory(14)
+	mkWorker := func(seed int64) *agents.DQN { return newDQN(t, env, seed) }
+	w0 := mkWorker(1)
+	workers := []*agents.DQN{w0, mkWorker(1), mkWorker(1)}
+	ps := NewParameterServer(w0.GetWeights())
+
+	// Seed every worker's memory with deterministic transitions.
+	n := 64
+	s := tensor.New(n, 9)
+	for i := 0; i < n; i++ {
+		s.Set(1, i, i%9)
+	}
+	a := tensor.New(n)
+	r := tensor.Ones(n)
+	tm := tensor.Ones(n)
+	for _, w := range workers {
+		if err := w.Observe(s, a, r, s, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lossBefore, err := w0.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(w *agents.DQN) (map[string]*tensor.Tensor, error) {
+		before := w.GetWeights()
+		if _, err := w.Update(); err != nil {
+			return nil, err
+		}
+		return WeightDelta(before, w.GetWeights()), nil
+	}
+	res, err := RunPSTraining(PSTrainerConfig{PullEvery: 2}, ps, workers, step, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 || res.Pushes == 0 || res.Pulls == 0 {
+		t.Fatalf("no progress: %+v", res)
+	}
+	// Install the final global weights into a fresh evaluator: loss must
+	// have dropped versus the first local update's loss.
+	eval := mkWorker(1)
+	if err := eval.Observe(s, a, r, s, tm); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := ps.Pull()
+	if err := eval.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	lossAfter, err := eval.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lossAfter < lossBefore) {
+		t.Fatalf("async PS training did not improve: %g → %g", lossBefore, lossAfter)
+	}
+}

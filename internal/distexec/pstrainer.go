@@ -1,0 +1,123 @@
+package distexec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/tensor"
+)
+
+// PSTrainerConfig parameterizes asynchronous parameter-server training
+// (the non-centralized execution mode of the paper's Fig. 4: each worker
+// owns a local graph, computes updates locally, and synchronizes through
+// global variables instead of a coordinating driver).
+type PSTrainerConfig struct {
+	// NumWorkers is the number of asynchronous worker goroutines.
+	NumWorkers int
+	// PullEvery refreshes a worker's local weights from the PS every N
+	// local updates.
+	PullEvery int
+}
+
+// PSTrainerResult aggregates a run's metrics.
+type PSTrainerResult struct {
+	// Updates is the total local updates applied across workers.
+	Updates int64
+	// Pushes/Pulls are PS synchronization counts.
+	Pushes, Pulls int64
+	// MaxStaleness is the largest version lag observed at pull time.
+	MaxStaleness int64
+	Elapsed      time.Duration
+}
+
+// PSWorkerFn performs one local learning step on the worker's agent and
+// returns the weight delta to publish (nil to publish nothing this step).
+type PSWorkerFn func(worker *agents.DQN) (map[string]*tensor.Tensor, error)
+
+// RunPSTraining drives async parameter-server training: every worker loops
+// {pull-if-stale, local step, push delta} against the shared server until
+// the duration elapses. Workers never coordinate with each other — only
+// through the PS, exactly like distributed-TF between-graph replication.
+func RunPSTraining(cfg PSTrainerConfig, ps *ParameterServer,
+	workers []*agents.DQN, step PSWorkerFn, duration time.Duration) (*PSTrainerResult, error) {
+	if cfg.NumWorkers == 0 {
+		cfg.NumWorkers = len(workers)
+	}
+	if cfg.PullEvery == 0 {
+		cfg.PullEvery = 4
+	}
+	var updates int64
+	var maxStale int64
+	var firstErr error
+	var errMu sync.Mutex
+	deadline := time.Now().Add(duration)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.NumWorkers && i < len(workers); i++ {
+		wg.Add(1)
+		go func(w *agents.DQN) {
+			defer wg.Done()
+			local := 0
+			for time.Now().Before(deadline) {
+				if local%cfg.PullEvery == 0 {
+					weights, version := ps.Pull()
+					if s := ps.Staleness(version); s > atomic.LoadInt64(&maxStale) {
+						atomic.StoreInt64(&maxStale, s)
+					}
+					if err := w.SetWeights(weights); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+				delta, err := step(w)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				if delta != nil {
+					if _, err := ps.ApplyDelta(delta, 1); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+				atomic.AddInt64(&updates, 1)
+				local++
+			}
+		}(workers[i])
+	}
+	start := time.Now()
+	wg.Wait()
+	return &PSTrainerResult{
+		Updates:      atomic.LoadInt64(&updates),
+		Pushes:       ps.PushCount(),
+		Pulls:        ps.PullCount(),
+		MaxStaleness: atomic.LoadInt64(&maxStale),
+		Elapsed:      time.Since(start),
+	}, firstErr
+}
+
+// WeightDelta computes after-before per-variable differences (the delta a
+// local optimizer step produced).
+func WeightDelta(before, after map[string]*tensor.Tensor) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(after))
+	for k, a := range after {
+		if b, ok := before[k]; ok {
+			out[k] = tensor.Sub(a, b)
+		}
+	}
+	return out
+}

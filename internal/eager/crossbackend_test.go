@@ -1,0 +1,31 @@
+package eager
+
+import (
+	"testing"
+
+	"rlgraph/internal/graph"
+	"rlgraph/internal/tensor"
+)
+
+type staticMLPResult struct {
+	loss float64
+	grad *tensor.Tensor
+}
+
+// gtestStaticMLP evaluates the same MLP loss and input gradient on the
+// static-graph backend for cross-backend agreement tests.
+func gtestStaticMLP(t *testing.T, x, w1, w2, target *tensor.Tensor) staticMLPResult {
+	t.Helper()
+	g := graph.New()
+	xp := graph.Placeholder(g, "x", x.Shape())
+	h := graph.Relu(g, graph.MatMul(g, xp, graph.Const(g, w1)))
+	out := graph.MatMul(g, h, graph.Const(g, w2))
+	loss := graph.Mean(g, graph.Square(g, graph.Sub(g, out, graph.Const(g, target))))
+	grads := graph.Gradients(g, loss, []*graph.Node{xp})
+	sess := graph.NewSession(g)
+	vals, err := sess.Run([]*graph.Node{loss, grads[0]}, graph.Feeds{xp: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return staticMLPResult{loss: vals[0].Item(), grad: vals[1]}
+}

@@ -1,0 +1,117 @@
+// Package envs provides simulation environments. The paper evaluates on
+// Atari Pong (ALE) and a DeepMind Lab 3D task; neither is available to a
+// pure-Go reproduction, so PongSim reimplements Pong's dynamics (paddles,
+// ball, ±21 scoring, frame-skip, optional 84×84 pixel rendering) at
+// laptop-trainable scale, and LabyrinthSim stands in for the more expensive
+// DM-Lab rendering with a configurable per-step render cost. CartPole and
+// GridWorld cover quickstart and integration-test workloads.
+package envs
+
+import (
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+// Env is a discrete-action environment.
+type Env interface {
+	// StateSpace describes observations.
+	StateSpace() spaces.Space
+	// ActionSpace describes the discrete action set.
+	ActionSpace() *spaces.IntBox
+	// Reset starts a new episode and returns the first observation.
+	Reset() *tensor.Tensor
+	// Step applies an action, returning the next observation, the reward,
+	// and whether the episode ended.
+	Step(action int) (obs *tensor.Tensor, reward float64, done bool)
+}
+
+// VectorEnv steps a batch of environment copies with auto-reset — the
+// vectorized sample collection of the paper's worker benchmarks (Fig. 5b,
+// 7a). Environments are called sequentially, matching the paper's setup.
+type VectorEnv struct {
+	Envs []Env
+
+	states  []*tensor.Tensor
+	started bool
+
+	// EpisodeRewards accumulates the running return per environment.
+	EpisodeRewards []float64
+	// FinishedEpisodes records returns of completed episodes.
+	FinishedEpisodes []float64
+}
+
+// NewVectorEnv wraps the given environment copies.
+func NewVectorEnv(envs ...Env) *VectorEnv {
+	return &VectorEnv{
+		Envs:           envs,
+		states:         make([]*tensor.Tensor, len(envs)),
+		EpisodeRewards: make([]float64, len(envs)),
+	}
+}
+
+// Len returns the number of environments.
+func (v *VectorEnv) Len() int { return len(v.Envs) }
+
+// ResetAll resets every environment and returns the batched observation.
+func (v *VectorEnv) ResetAll() *tensor.Tensor {
+	for i, e := range v.Envs {
+		v.states[i] = e.Reset()
+		v.EpisodeRewards[i] = 0
+	}
+	v.started = true
+	return v.batch()
+}
+
+// States returns the current batched observation.
+func (v *VectorEnv) States() *tensor.Tensor {
+	if !v.started {
+		return v.ResetAll()
+	}
+	return v.batch()
+}
+
+// StepAll applies one action per environment, auto-resetting finished
+// episodes, and returns batched next observations, rewards and terminals.
+// The returned observations are the *post-reset* states (standard vectorized
+// semantics); terminals mark which transitions ended an episode.
+func (v *VectorEnv) StepAll(actions []int) (obs *tensor.Tensor, rewards, terminals []float64) {
+	if !v.started {
+		v.ResetAll()
+	}
+	rewards = make([]float64, len(v.Envs))
+	terminals = make([]float64, len(v.Envs))
+	for i, e := range v.Envs {
+		s, r, done := e.Step(actions[i])
+		rewards[i] = r
+		v.EpisodeRewards[i] += r
+		if done {
+			terminals[i] = 1
+			v.FinishedEpisodes = append(v.FinishedEpisodes, v.EpisodeRewards[i])
+			v.EpisodeRewards[i] = 0
+			s = e.Reset()
+		}
+		v.states[i] = s
+	}
+	return v.batch(), rewards, terminals
+}
+
+func (v *VectorEnv) batch() *tensor.Tensor {
+	return tensor.Stack(v.states...)
+}
+
+// MeanFinishedReward averages the most recent n completed episode returns
+// (all of them if fewer); returns 0 with ok=false when none finished.
+func (v *VectorEnv) MeanFinishedReward(n int) (float64, bool) {
+	f := v.FinishedEpisodes
+	if len(f) == 0 {
+		return 0, false
+	}
+	if n > 0 && len(f) > n {
+		f = f[len(f)-n:]
+	}
+	sum := 0.0
+	for _, r := range f {
+		sum += r
+	}
+	return sum / float64(len(f)), true
+}

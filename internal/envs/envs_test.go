@@ -1,0 +1,321 @@
+package envs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+func TestPongFeatureObservationsInSpace(t *testing.T) {
+	p := NewPongSim(PongConfig{Seed: 1})
+	obs := p.Reset()
+	if !p.StateSpace().Contains(obs) {
+		t.Fatalf("reset obs %v not in space", obs)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		o, r, done := p.Step(rng.Intn(3))
+		if !p.StateSpace().Contains(o) {
+			t.Fatalf("step obs out of space at %d: %v", i, o)
+		}
+		if r != 0 && r != 1 && r != -1 {
+			t.Fatalf("reward %g not in {-1,0,1}", r)
+		}
+		if done {
+			p.Reset()
+		}
+	}
+}
+
+func TestPongEpisodeEndsAtPointsToWin(t *testing.T) {
+	p := NewPongSim(PongConfig{Seed: 3, PointsToWin: 2, FrameSkip: 4})
+	p.Reset()
+	rng := rand.New(rand.NewSource(4))
+	total := 0.0
+	for i := 0; ; i++ {
+		_, r, done := p.Step(rng.Intn(3))
+		total += r
+		if done {
+			a, o := p.Score()
+			if a != 2 && o != 2 {
+				t.Fatalf("episode ended at score %d:%d", a, o)
+			}
+			return
+		}
+		if i > 200000 {
+			t.Fatal("episode never ended")
+		}
+	}
+}
+
+func TestPongDeterministicUnderSeed(t *testing.T) {
+	run := func() []float64 {
+		p := NewPongSim(PongConfig{Seed: 7})
+		p.Reset()
+		var rs []float64
+		for i := 0; i < 300; i++ {
+			_, r, done := p.Step(i % 3)
+			rs = append(rs, r)
+			if done {
+				p.Reset()
+			}
+		}
+		return rs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+}
+
+func TestPongPixelRendering(t *testing.T) {
+	p := NewPongSim(PongConfig{Obs: PongPixels, Seed: 5})
+	obs := p.Reset()
+	if !tensor.SameShape(obs.Shape(), []int{84, 84, 1}) {
+		t.Fatalf("shape = %v", obs.Shape())
+	}
+	lit := 0
+	for _, v := range obs.Data() {
+		if v == 1 {
+			lit++
+		} else if v != 0 {
+			t.Fatal("non-binary pixel")
+		}
+	}
+	// Ball (4 px) + two paddles (~2*2*half) must be visible.
+	if lit < 20 {
+		t.Fatalf("only %d pixels lit", lit)
+	}
+}
+
+func TestPongFrameSkipMultipliesFrames(t *testing.T) {
+	p := NewPongSim(PongConfig{Seed: 6, FrameSkip: 4})
+	p.Reset()
+	for i := 0; i < 10; i++ {
+		_, _, done := p.Step(0)
+		if done {
+			p.Reset()
+		}
+	}
+	if p.Frames() != 40 {
+		t.Fatalf("frames = %d, want 40", p.Frames())
+	}
+}
+
+func TestTrackedOpponentBeatsRandomAgent(t *testing.T) {
+	// Sanity: a skilled opponent should win most points against noop play.
+	p := NewPongSim(PongConfig{Seed: 8, PointsToWin: 5, OpponentSkill: 0.95})
+	p.Reset()
+	for i := 0; i < 1000000; i++ {
+		_, _, done := p.Step(0)
+		if done {
+			break
+		}
+	}
+	a, o := p.Score()
+	if o <= a {
+		t.Fatalf("noop agent scored %d vs opponent %d", a, o)
+	}
+}
+
+func TestCartPoleDynamicsAndTermination(t *testing.T) {
+	c := NewCartPole(1)
+	obs := c.Reset()
+	if !tensor.SameShape(obs.Shape(), []int{4}) {
+		t.Fatalf("shape = %v", obs.Shape())
+	}
+	steps := 0
+	for {
+		_, r, done := c.Step(steps % 2)
+		if r != 1 {
+			t.Fatalf("reward %g", r)
+		}
+		steps++
+		if done {
+			break
+		}
+		if steps > 300 {
+			t.Fatal("no termination")
+		}
+	}
+	if steps < 5 {
+		t.Fatalf("fell after only %d steps", steps)
+	}
+}
+
+func TestGridWorldReachGoal(t *testing.T) {
+	g := NewGridWorld(3, 1)
+	g.Reset()
+	// Optimal path: right, right, down, down.
+	total := 0.0
+	var done bool
+	var r float64
+	for _, a := range []int{3, 3, 1, 1} {
+		_, r, done = g.Step(a)
+		total += r
+	}
+	if !done {
+		t.Fatal("goal not terminal")
+	}
+	if r != 1 {
+		t.Fatalf("goal reward = %g", r)
+	}
+	if total != 1-0.03 {
+		t.Fatalf("return = %g", total)
+	}
+}
+
+func TestGridWorldWallsAreNoOps(t *testing.T) {
+	g := NewGridWorld(3, 1)
+	s0 := g.Reset()
+	s1, _, _ := g.Step(0) // up from top-left: blocked
+	if !s0.Equal(s1) {
+		t.Fatal("walked through wall")
+	}
+}
+
+// Property: grid observations are always one-hot.
+func TestGridObsOneHotProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGridWorld(4, seed)
+		o := g.Reset()
+		for i := 0; i < 30; i++ {
+			var done bool
+			o, _, done = g.Step(rng.Intn(4))
+			ones := 0
+			for _, v := range o.Data() {
+				if v == 1 {
+					ones++
+				} else if v != 0 {
+					return false
+				}
+			}
+			if ones != 1 {
+				return false
+			}
+			if done {
+				o = g.Reset()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorEnvBatchingAndAutoReset(t *testing.T) {
+	v := NewVectorEnv(NewGridWorld(2, 1), NewGridWorld(2, 2))
+	obs := v.ResetAll()
+	if !tensor.SameShape(obs.Shape(), []int{2, 4}) {
+		t.Fatalf("shape = %v", obs.Shape())
+	}
+	// Drive env 0 to its goal (right, down on 2x2).
+	v.StepAll([]int{3, 0})
+	obs, rewards, terms := v.StepAll([]int{1, 0})
+	if terms[0] != 1 {
+		t.Fatal("env 0 should have terminated")
+	}
+	if rewards[0] != 1 {
+		t.Fatalf("goal reward = %g", rewards[0])
+	}
+	if terms[1] != 0 {
+		t.Fatal("env 1 should still be running")
+	}
+	// Post-reset state for env 0 is the start state.
+	if obs.At(0, 0) != 1 {
+		t.Fatal("env 0 not auto-reset")
+	}
+	if len(v.FinishedEpisodes) != 1 {
+		t.Fatalf("finished = %d", len(v.FinishedEpisodes))
+	}
+	if m, ok := v.MeanFinishedReward(10); !ok || m != rewardsSum(v.FinishedEpisodes) {
+		t.Fatalf("mean = %g ok=%v", m, ok)
+	}
+}
+
+func rewardsSum(r []float64) float64 {
+	s := 0.0
+	for _, v := range r {
+		s += v
+	}
+	return s / float64(len(r))
+}
+
+func TestLabyrinthSimCostAndInterface(t *testing.T) {
+	l := NewLabyrinthSim(100, 1)
+	obs := l.Reset()
+	if !tensor.SameShape(obs.Shape(), []int{128}) {
+		t.Fatalf("shape = %v", obs.Shape())
+	}
+	if l.ActionSpace().N != 9 {
+		t.Fatalf("actions = %d", l.ActionSpace().N)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, done := l.Step(i % 9); done {
+			l.Reset()
+		}
+	}
+}
+
+func TestEnvsImplementInterface(t *testing.T) {
+	for _, e := range []Env{
+		NewPongSim(PongConfig{Seed: 1}),
+		NewCartPole(1),
+		NewGridWorld(3, 1),
+		NewLabyrinthSim(10, 1),
+	} {
+		if e.StateSpace() == nil || e.ActionSpace().N <= 0 {
+			t.Fatalf("%T: bad spaces", e)
+		}
+	}
+	var _ spaces.Space = NewPongSim(PongConfig{}).StateSpace()
+}
+
+func TestFrameStackChannels(t *testing.T) {
+	base := NewPongSim(PongConfig{Obs: PongPixels, Seed: 1})
+	fs := NewFrameStack(base, 4)
+	if !tensor.SameShape(fs.StateSpace().Shape(), []int{84, 84, 4}) {
+		t.Fatalf("stacked space = %v", fs.StateSpace().Shape())
+	}
+	obs := fs.Reset()
+	if !tensor.SameShape(obs.Shape(), []int{84, 84, 4}) {
+		t.Fatalf("stacked obs = %v", obs.Shape())
+	}
+	// All four channels initially equal the reset frame.
+	for c := 1; c < 4; c++ {
+		if obs.At(42, 42, c) != obs.At(42, 42, 0) {
+			t.Fatal("initial stack not filled with reset frame")
+		}
+	}
+	// After a step, the newest channel differs from the oldest eventually.
+	var done bool
+	for i := 0; i < 10 && !done; i++ {
+		obs, _, done = fs.Step(1)
+	}
+	if !tensor.SameShape(obs.Shape(), []int{84, 84, 4}) {
+		t.Fatal("shape changed after step")
+	}
+}
+
+func TestFrameStackFeatures(t *testing.T) {
+	fs := NewFrameStack(NewCartPole(1), 2)
+	if !tensor.SameShape(fs.StateSpace().Shape(), []int{8}) {
+		t.Fatalf("stacked space = %v", fs.StateSpace().Shape())
+	}
+	obs := fs.Reset()
+	prev := obs.Clone()
+	obs, _, _ = fs.Step(0)
+	// The first half of the new stack equals the second half of the old.
+	for i := 0; i < 4; i++ {
+		if obs.Data()[i] != prev.Data()[4+i] {
+			t.Fatal("stack did not roll")
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package envs
+
+import (
+	"math/rand"
+
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+// PongObs selects PongSim's observation encoding.
+type PongObs int
+
+const (
+	// PongFeatures yields a 6-value feature vector (ball x/y/vx/vy, agent
+	// paddle y, opponent paddle y), all normalized — cheap and learnable.
+	PongFeatures PongObs = iota
+	// PongPixels yields an 84×84×1 rendered frame like preprocessed Atari.
+	PongPixels
+)
+
+// PongConfig parameterizes the simulator.
+type PongConfig struct {
+	// Obs selects the observation encoding.
+	Obs PongObs
+	// FrameSkip repeats each action k frames, summing rewards (Atari
+	// frame-skip semantics; the paper reports env frames including skips).
+	FrameSkip int
+	// PointsToWin ends the episode when either side reaches this score
+	// (21 in Pong; lower it for faster-terminating training workloads).
+	PointsToWin int
+	// OpponentSkill in [0,1] is the chance per frame that the opponent
+	// paddle tracks the ball correctly.
+	OpponentSkill float64
+	// Seed fixes ball serves and opponent noise.
+	Seed int64
+}
+
+// PongSim is a deterministic two-paddle Pong with Atari-like scoring: the
+// agent plays the right paddle with actions {noop, up, down}, each rally won
+// scores +1/-1, and the episode ends at PointsToWin (±21 episode returns,
+// like the learning curves of Fig. 7b/8).
+type PongSim struct {
+	cfg PongConfig
+	rng *rand.Rand
+
+	ballX, ballY   float64
+	ballVX, ballVY float64
+	agentY, oppY   float64
+	agentScore     int
+	oppScore       int
+
+	stateSpace spaces.Space
+	frames     int
+}
+
+const (
+	pongPaddleHalf  = 0.15
+	pongPaddleSpeed = 0.04
+	pongBallSpeed   = 0.03
+)
+
+// NewPongSim returns a simulator with the given config.
+func NewPongSim(cfg PongConfig) *PongSim {
+	if cfg.FrameSkip <= 0 {
+		cfg.FrameSkip = 1
+	}
+	if cfg.PointsToWin <= 0 {
+		cfg.PointsToWin = 21
+	}
+	if cfg.OpponentSkill == 0 {
+		cfg.OpponentSkill = 0.7
+	}
+	p := &PongSim{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Obs == PongPixels {
+		p.stateSpace = spaces.NewBoundedFloatBox(0, 1, 84, 84, 1)
+	} else {
+		p.stateSpace = spaces.NewBoundedFloatBox(-1, 1, 6)
+	}
+	return p
+}
+
+// StateSpace describes the observation encoding.
+func (p *PongSim) StateSpace() spaces.Space { return p.stateSpace }
+
+// ActionSpace is {noop, up, down}.
+func (p *PongSim) ActionSpace() *spaces.IntBox { return spaces.NewIntBox(3) }
+
+// Frames returns total simulated frames (including skips).
+func (p *PongSim) Frames() int { return p.frames }
+
+// Score returns (agent, opponent) points in the current episode.
+func (p *PongSim) Score() (int, int) { return p.agentScore, p.oppScore }
+
+// Reset starts a fresh episode.
+func (p *PongSim) Reset() *tensor.Tensor {
+	p.agentScore, p.oppScore = 0, 0
+	p.agentY, p.oppY = 0.5, 0.5
+	p.serve()
+	return p.observe()
+}
+
+func (p *PongSim) serve() {
+	p.ballX, p.ballY = 0.5, 0.5
+	dir := 1.0
+	if p.rng.Intn(2) == 0 {
+		dir = -1
+	}
+	p.ballVX = pongBallSpeed * dir
+	p.ballVY = pongBallSpeed * (p.rng.Float64()*2 - 1)
+}
+
+// Step applies an action with frame-skip.
+func (p *PongSim) Step(action int) (*tensor.Tensor, float64, bool) {
+	reward := 0.0
+	done := false
+	for i := 0; i < p.cfg.FrameSkip && !done; i++ {
+		r, d := p.frame(action)
+		reward += r
+		done = d
+	}
+	return p.observe(), reward, done
+}
+
+// frame advances the simulation one tick.
+func (p *PongSim) frame(action int) (float64, bool) {
+	p.frames++
+	// Agent paddle.
+	switch action {
+	case 1:
+		p.agentY -= pongPaddleSpeed
+	case 2:
+		p.agentY += pongPaddleSpeed
+	}
+	p.agentY = clamp01(p.agentY)
+
+	// Opponent: noisy ball tracking.
+	if p.rng.Float64() < p.cfg.OpponentSkill {
+		if p.oppY < p.ballY-0.02 {
+			p.oppY += pongPaddleSpeed * 0.9
+		} else if p.oppY > p.ballY+0.02 {
+			p.oppY -= pongPaddleSpeed * 0.9
+		}
+	}
+	p.oppY = clamp01(p.oppY)
+
+	// Ball motion with wall bounces.
+	p.ballX += p.ballVX
+	p.ballY += p.ballVY
+	if p.ballY < 0 {
+		p.ballY = -p.ballY
+		p.ballVY = -p.ballVY
+	}
+	if p.ballY > 1 {
+		p.ballY = 2 - p.ballY
+		p.ballVY = -p.ballVY
+	}
+
+	reward := 0.0
+	// Right side: agent paddle at x=1.
+	if p.ballX >= 1 {
+		if diff := p.ballY - p.agentY; diff >= -pongPaddleHalf && diff <= pongPaddleHalf {
+			p.ballX = 2 - p.ballX
+			p.ballVX = -p.ballVX
+			// Impart spin from contact point.
+			p.ballVY += diff * 0.05
+		} else {
+			p.oppScore++
+			reward = -1
+			p.serve()
+		}
+	}
+	// Left side: opponent paddle at x=0.
+	if p.ballX <= 0 {
+		if diff := p.ballY - p.oppY; diff >= -pongPaddleHalf && diff <= pongPaddleHalf {
+			p.ballX = -p.ballX
+			p.ballVX = -p.ballVX
+			p.ballVY += diff * 0.05
+		} else {
+			p.agentScore++
+			reward = 1
+			p.serve()
+		}
+	}
+	done := p.agentScore >= p.cfg.PointsToWin || p.oppScore >= p.cfg.PointsToWin
+	return reward, done
+}
+
+func (p *PongSim) observe() *tensor.Tensor {
+	if p.cfg.Obs == PongPixels {
+		return p.render()
+	}
+	return tensor.FromSlice([]float64{
+		p.ballX*2 - 1, p.ballY*2 - 1,
+		p.ballVX / pongBallSpeed / 2, p.ballVY / pongBallSpeed / 2,
+		p.agentY*2 - 1, p.oppY*2 - 1,
+	}, 6)
+}
+
+// render draws ball and paddles into an 84×84 single-channel frame.
+func (p *PongSim) render() *tensor.Tensor {
+	t := tensor.New(84, 84, 1)
+	d := t.Data()
+	set := func(x, y int) {
+		if x >= 0 && x < 84 && y >= 0 && y < 84 {
+			d[y*84+x] = 1
+		}
+	}
+	// Ball: 2x2 block.
+	bx, by := int(p.ballX*83), int(p.ballY*83)
+	for dy := 0; dy < 2; dy++ {
+		for dx := 0; dx < 2; dx++ {
+			set(bx+dx, by+dy)
+		}
+	}
+	// Paddles: vertical bars.
+	scale := 83.0
+	half := int(scale * pongPaddleHalf)
+	ay := int(p.agentY * 83)
+	oy := int(p.oppY * 83)
+	for k := -half; k <= half; k++ {
+		set(82, ay+k)
+		set(83, ay+k)
+		set(0, oy+k)
+		set(1, oy+k)
+	}
+	return t
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

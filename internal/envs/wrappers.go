@@ -1,0 +1,55 @@
+package envs
+
+import (
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+// FrameStack stacks the last k observations along the channel (last) axis —
+// the standard Atari preprocessing that gives a feed-forward network motion
+// information. Rank-3 HWC observations stack channels; rank-1 feature
+// observations concatenate.
+type FrameStack struct {
+	Env Env
+	k   int
+
+	frames []*tensor.Tensor
+	space  spaces.Space
+}
+
+// NewFrameStack wraps env with a k-frame stack.
+func NewFrameStack(env Env, k int) *FrameStack {
+	f := &FrameStack{Env: env, k: k}
+	es := env.StateSpace().Shape()
+	stacked := append([]int(nil), es...)
+	stacked[len(stacked)-1] *= k
+	f.space = spaces.NewFloatBox(stacked...)
+	return f
+}
+
+// StateSpace reflects the stacked channel depth.
+func (f *FrameStack) StateSpace() spaces.Space { return f.space }
+
+// ActionSpace delegates to the wrapped env.
+func (f *FrameStack) ActionSpace() *spaces.IntBox { return f.Env.ActionSpace() }
+
+// Reset fills the stack with the initial observation.
+func (f *FrameStack) Reset() *tensor.Tensor {
+	obs := f.Env.Reset()
+	f.frames = f.frames[:0]
+	for i := 0; i < f.k; i++ {
+		f.frames = append(f.frames, obs)
+	}
+	return f.stacked()
+}
+
+// Step advances the env and rolls the stack.
+func (f *FrameStack) Step(action int) (*tensor.Tensor, float64, bool) {
+	obs, r, done := f.Env.Step(action)
+	f.frames = append(f.frames[1:], obs)
+	return f.stacked(), r, done
+}
+
+func (f *FrameStack) stacked() *tensor.Tensor {
+	return tensor.Concat(-1, f.frames...)
+}

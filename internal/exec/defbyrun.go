@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"rlgraph/internal/backend"
+	"rlgraph/internal/component"
+	"rlgraph/internal/eager"
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+	"rlgraph/internal/vars"
+)
+
+// DefineByRunExecutor builds the component graph once by pushing artificial
+// zero tensors through it (creating variables via shape inference, as the
+// paper's PyTorch backend does) and then serves Execute calls by directly
+// evaluating the call-chain of graph functions — define-by-run semantics
+// behind the same execute() interface as the static executor.
+type DefineByRunExecutor struct {
+	root      *component.Component
+	inAPIs    InputSpaces
+	report    *BuildReport
+	built     bool
+	builtAPIs map[string]bool
+
+	// FastPath enables contracted calls: per-component dispatch bookkeeping
+	// is skipped when traversing the graph at run time (paper §5.1's
+	// edge-contraction optimization).
+	FastPath bool
+}
+
+// NewDefineByRun returns an unbuilt define-by-run executor for root.
+func NewDefineByRun(root *component.Component) *DefineByRunExecutor {
+	return &DefineByRunExecutor{root: root}
+}
+
+// BackendName identifies the backend.
+func (e *DefineByRunExecutor) BackendName() string { return "define-by-run" }
+
+// Root returns the root component.
+func (e *DefineByRunExecutor) Root() *component.Component { return e.root }
+
+// Build traces the component graph and then pushes zero tensors shaped by
+// the declared input spaces through every API so each component becomes
+// input-complete and creates its variables.
+func (e *DefineByRunExecutor) Build(in InputSpaces) (*BuildReport, error) {
+	stats, traceTime, err := assemble(e.root, in)
+	if err != nil {
+		return nil, err
+	}
+	e.inAPIs = in
+
+	order, err := buildOrder(e.root, in)
+	if err != nil {
+		return nil, err
+	}
+	e.builtAPIs = make(map[string]bool, len(order))
+	start := time.Now()
+	ops := backend.NewEagerOps(nil, backend.ModeBuild)
+	ctx := &component.Ctx{Mode: component.ModeCompile, Ops: ops, Stats: stats}
+	for _, api := range order {
+		e.builtAPIs[api] = true
+		sps := in[api]
+		recs := make([]*component.Rec, len(sps))
+		for i, sp := range sps {
+			recs[i] = component.NewRec(eager.Const(buildInput(sp)), sp)
+		}
+		e.root.Call(ctx, api, recs...)
+	}
+	buildTime := time.Since(start)
+
+	e.built = true
+	e.report = &BuildReport{
+		Backend:       e.BackendName(),
+		TraceTime:     traceTime,
+		BuildTime:     buildTime,
+		GraphFnTime:   time.Duration(stats.GraphFnNanos),
+		BuildOverhead: buildTime - time.Duration(stats.GraphFnNanos),
+		NumComponents: e.root.NumComponents(),
+		APICalls:      stats.APICalls,
+		GraphFnCalls:  stats.GraphFnCalls,
+	}
+	return e.report, nil
+}
+
+// buildInput creates the artificial placeholder tensor for a space (batch
+// size 1).
+func buildInput(sp spaces.Space) *tensor.Tensor { return sp.Zeros(1) }
+
+// Execute directly evaluates the call-chain of graph functions for the API.
+// APIs marked NoGrad run without a tape (no autodiff recording); others get
+// a fresh tape so graph fns may request Gradients. Stateful-op failures
+// (e.g. a closed queue) surface as ordinary errors.
+func (e *DefineByRunExecutor) Execute(api string, inputs ...*tensor.Tensor) (_ []*tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*backend.StatefulError); ok {
+				err = se
+				return
+			}
+			panic(r)
+		}
+	}()
+	return e.execute(api, inputs...)
+}
+
+func (e *DefineByRunExecutor) execute(api string, inputs ...*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if !e.built {
+		return nil, fmt.Errorf("exec: Execute before Build")
+	}
+	a := e.root.LookupAPI(api)
+	if a == nil {
+		return nil, fmt.Errorf("exec: unknown API %q", api)
+	}
+	if !e.builtAPIs[api] {
+		return nil, fmt.Errorf("exec: API %q was not built (no input spaces declared)", api)
+	}
+	var tape *eager.Tape
+	if !a.NoGrad {
+		tape = eager.NewTape()
+	}
+	ops := backend.NewEagerOps(tape, backend.ModeRun)
+	ctx := &component.Ctx{Mode: component.ModeRun, Ops: ops, FastPath: e.FastPath}
+	recs := make([]*component.Rec, len(inputs))
+	for i, in := range inputs {
+		recs[i] = component.NewRec(eager.Const(in), nil)
+	}
+	outs := e.root.Call(ctx, api, recs...)
+	res := make([]*tensor.Tensor, len(outs))
+	for i, o := range outs {
+		res[i] = ops.Eval(o.Ref)
+	}
+	return res, nil
+}
+
+// Variables returns all variables created during the build.
+func (e *DefineByRunExecutor) Variables() *vars.Store { return e.root.AllVariables() }

@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"sort"
+	"strings"
+
+	"rlgraph/internal/component"
+)
+
+// DeviceMap assigns devices to components by scope prefix (paper §4.1:
+// "users can define a device map which specifies a device assignment for
+// each component's ops and variables"). Longer (more specific) prefixes win;
+// sub-components inherit unless they match their own entry.
+type DeviceMap map[string]string
+
+// Apply walks the component tree and sets each component's device to the
+// most specific matching prefix. Call before Build — device assignments are
+// read when graph functions compile. It returns the number of components
+// assigned.
+func (m DeviceMap) Apply(root *component.Component) int {
+	prefixes := make([]string, 0, len(m))
+	for p := range m {
+		prefixes = append(prefixes, p)
+	}
+	// Longest prefix first.
+	sort.Slice(prefixes, func(i, j int) bool { return len(prefixes[i]) > len(prefixes[j]) })
+
+	assigned := 0
+	root.Walk(func(c *component.Component) {
+		for _, p := range prefixes {
+			if c.Scope() == p || strings.HasPrefix(c.Scope(), p+"/") {
+				c.SetDevice(m[p])
+				assigned++
+				return
+			}
+		}
+	})
+	return assigned
+}

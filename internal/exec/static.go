@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"rlgraph/internal/backend"
+	"rlgraph/internal/component"
+	"rlgraph/internal/graph"
+	"rlgraph/internal/tensor"
+	"rlgraph/internal/vars"
+)
+
+// staticEntry is one op-registry record: the placeholders and fetch nodes of
+// a root API method.
+type staticEntry struct {
+	placeholders []*graph.Node
+	fetches      []*graph.Node
+}
+
+// StaticExecutor compiles the component graph into a dataflow graph once and
+// serves every Execute with a single Session.Run — the registry lookup plus
+// batched session call the paper describes for the TF executor. After the
+// build, the component graph is not touched again at run time.
+type StaticExecutor struct {
+	root     *component.Component
+	g        *graph.Graph
+	sess     *graph.Session
+	ops      *backend.StaticOps
+	registry map[string]*staticEntry
+	report   *BuildReport
+}
+
+// NewStatic returns an unbuilt static executor for root.
+func NewStatic(root *component.Component) *StaticExecutor {
+	return &StaticExecutor{root: root, registry: make(map[string]*staticEntry)}
+}
+
+// BackendName identifies the backend.
+func (e *StaticExecutor) BackendName() string { return "static" }
+
+// Root returns the root component.
+func (e *StaticExecutor) Root() *component.Component { return e.root }
+
+// Graph exposes the built dataflow graph (for visualization/inspection).
+func (e *StaticExecutor) Graph() *graph.Graph { return e.g }
+
+// Session exposes the session (for run counters in benchmarks).
+func (e *StaticExecutor) Session() *graph.Session { return e.sess }
+
+// Registry returns the op-registry entry for an API (placeholder and fetch
+// nodes), or nil.
+func (e *StaticExecutor) Registry(api string) ([]*graph.Node, []*graph.Node) {
+	ent := e.registry[api]
+	if ent == nil {
+		return nil, nil
+	}
+	return ent.placeholders, ent.fetches
+}
+
+// Build runs assembly then graph compilation for every root API method, in
+// registration order, generating placeholders from the declared input
+// spaces and registering input/output ops in the registry.
+func (e *StaticExecutor) Build(in InputSpaces) (*BuildReport, error) {
+	stats, traceTime, err := assemble(e.root, in)
+	if err != nil {
+		return nil, err
+	}
+
+	e.g = graph.New()
+	e.ops = backend.NewStaticOps(e.g)
+	ctx := &component.Ctx{Mode: component.ModeCompile, Ops: e.ops, Stats: stats}
+
+	order, err := buildOrder(e.root, in)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, api := range order {
+		sps := in[api]
+		ent := &staticEntry{}
+		recs := make([]*component.Rec, len(sps))
+		for i, sp := range sps {
+			ph := graph.Placeholder(e.g, fmt.Sprintf("%s/%s/arg%d", e.root.Scope(), api, i),
+				placeholderShape(sp))
+			ent.placeholders = append(ent.placeholders, ph)
+			recs[i] = component.NewRec(ph, sp)
+		}
+		outs := e.root.Call(ctx, api, recs...)
+		for _, o := range outs {
+			node, ok := o.Ref.(*graph.Node)
+			if !ok {
+				return nil, fmt.Errorf("exec: API %q returned a non-node record", api)
+			}
+			ent.fetches = append(ent.fetches, node)
+		}
+		e.registry[api] = ent
+	}
+	buildTime := time.Since(start)
+
+	e.sess = graph.NewSession(e.g)
+	e.report = &BuildReport{
+		Backend:       e.BackendName(),
+		TraceTime:     traceTime,
+		BuildTime:     buildTime,
+		GraphFnTime:   time.Duration(stats.GraphFnNanos),
+		BuildOverhead: buildTime - time.Duration(stats.GraphFnNanos),
+		NumComponents: e.root.NumComponents(),
+		APICalls:      stats.APICalls,
+		GraphFnCalls:  stats.GraphFnCalls,
+		GraphNodes:    e.g.NumNodes(),
+	}
+	return e.report, nil
+}
+
+// Execute looks the API up in the op registry, assembles feeds, and issues
+// one batched session call.
+func (e *StaticExecutor) Execute(api string, inputs ...*tensor.Tensor) ([]*tensor.Tensor, error) {
+	ent := e.registry[api]
+	if ent == nil {
+		return nil, fmt.Errorf("exec: unknown API %q (did you Build?)", api)
+	}
+	if len(inputs) != len(ent.placeholders) {
+		return nil, fmt.Errorf("exec: API %q wants %d inputs, got %d",
+			api, len(ent.placeholders), len(inputs))
+	}
+	feeds := make(graph.Feeds, len(inputs))
+	for i, in := range inputs {
+		feeds[ent.placeholders[i]] = in
+	}
+	return e.sess.Run(ent.fetches, feeds)
+}
+
+// Variables returns all variables created during the build.
+func (e *StaticExecutor) Variables() *vars.Store { return e.root.AllVariables() }

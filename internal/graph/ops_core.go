@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"fmt"
+
+	"rlgraph/internal/tensor"
+	"rlgraph/internal/vars"
+)
+
+// errNotFed is returned when a placeholder is evaluated without a feed.
+type errNotFed struct{ name string }
+
+func (e errNotFed) Error() string { return fmt.Sprintf("graph: placeholder %q was not fed", e.name) }
+
+// placeholderOp produces a fed value at run time.
+type placeholderOp struct {
+	name  string
+	shape []int
+}
+
+func (o *placeholderOp) Name() string                      { return "Placeholder" }
+func (o *placeholderOp) InferShape([][]int) ([]int, error) { return o.shape, nil }
+func (o *placeholderOp) Eval(*RunCtx, []*tensor.Tensor) (*tensor.Tensor, error) {
+	return nil, errNotFed{o.name}
+}
+
+// Placeholder adds a named input slot with the given static shape (-1 for
+// unknown dims such as batch).
+func Placeholder(g *Graph, name string, shape []int) *Node {
+	return g.Add(&placeholderOp{name: name, shape: append([]int(nil), shape...)}).WithName(name)
+}
+
+// constOp produces a fixed tensor.
+type constOp struct{ val *tensor.Tensor }
+
+func (o *constOp) Name() string                      { return "Const" }
+func (o *constOp) InferShape([][]int) ([]int, error) { return o.val.Shape(), nil }
+func (o *constOp) Eval(*RunCtx, []*tensor.Tensor) (*tensor.Tensor, error) {
+	return o.val, nil
+}
+
+// Const adds a constant node.
+func Const(g *Graph, v *tensor.Tensor) *Node { return g.Add(&constOp{val: v}) }
+
+// ConstScalar adds a rank-0 constant.
+func ConstScalar(g *Graph, v float64) *Node { return Const(g, tensor.Scalar(v)) }
+
+// varReadOp reads a variable's current value.
+type varReadOp struct{ v *vars.Variable }
+
+func (o *varReadOp) Name() string { return "VarRead" }
+func (o *varReadOp) InferShape([][]int) ([]int, error) {
+	if o.v.Val == nil {
+		return nil, fmt.Errorf("variable %q has no value", o.v.Name)
+	}
+	return o.v.Val.Shape(), nil
+}
+func (o *varReadOp) Eval(*RunCtx, []*tensor.Tensor) (*tensor.Tensor, error) {
+	return o.v.Val, nil
+}
+
+// VarRead adds a node that reads v at run time. Gradients flow into reads of
+// trainable variables via the Gradients wrt-node mechanism.
+func VarRead(g *Graph, v *vars.Variable) *Node {
+	return g.Add(&varReadOp{v: v}).WithName(v.Name)
+}
+
+// Variable returns the variable a VarRead node reads, or nil.
+func (n *Node) Variable() *vars.Variable {
+	if o, ok := n.op.(*varReadOp); ok {
+		return o.v
+	}
+	return nil
+}
+
+// assignOp writes its input into a variable and yields the written value.
+type assignOp struct{ v *vars.Variable }
+
+func (o *assignOp) Name() string { return "Assign" }
+func (o *assignOp) InferShape(in [][]int) ([]int, error) {
+	return in[0], nil
+}
+func (o *assignOp) Eval(_ *RunCtx, inputs []*tensor.Tensor) (*tensor.Tensor, error) {
+	o.v.Set(inputs[0])
+	return inputs[0], nil
+}
+
+// Assign adds a stateful node that stores val into v when evaluated.
+func Assign(g *Graph, v *vars.Variable, val *Node) *Node {
+	return g.Add(&assignOp{v: v}, val)
+}
+
+// addToOp accumulates its input into a variable in place (for gradient
+// application without building per-step graphs).
+type addToOp struct {
+	v     *vars.Variable
+	scale float64
+}
+
+func (o *addToOp) Name() string                         { return "AddTo" }
+func (o *addToOp) InferShape(in [][]int) ([]int, error) { return in[0], nil }
+func (o *addToOp) Eval(_ *RunCtx, inputs []*tensor.Tensor) (*tensor.Tensor, error) {
+	tensor.AddInPlace(o.v.Val, tensor.Scale(inputs[0], o.scale))
+	return inputs[0], nil
+}
+
+// AddTo adds a stateful node computing v += scale*val.
+func AddTo(g *Graph, v *vars.Variable, val *Node, scale float64) *Node {
+	return g.Add(&addToOp{v: v, scale: scale}, val)
+}
+
+// groupOp evaluates all inputs and returns a scalar zero (like tf.group).
+type groupOp struct{}
+
+func (groupOp) Name() string                      { return "Group" }
+func (groupOp) InferShape([][]int) ([]int, error) { return []int{}, nil }
+func (groupOp) Eval(*RunCtx, []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.Scalar(0), nil
+}
+
+// Group adds a node that forces evaluation of all inputs, yielding 0.
+func Group(g *Graph, ins ...*Node) *Node { return g.Add(groupOp{}, ins...) }
+
+// StatefulFunc is an arbitrary host-side computation embedded in the graph.
+// It is the bridge that lets components with native Go state (replay
+// memories, queues, counters) participate in static graphs, mirroring how
+// RLgraph wraps stateful TF ops.
+type StatefulFunc func(inputs []*tensor.Tensor) (*tensor.Tensor, error)
+
+type statefulOp struct {
+	name  string
+	shape []int
+	fn    StatefulFunc
+}
+
+func (o *statefulOp) Name() string                      { return o.name }
+func (o *statefulOp) InferShape([][]int) ([]int, error) { return o.shape, nil }
+func (o *statefulOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return o.fn(in)
+}
+
+// Stateful adds a host-computation node with a declared output shape (-1 for
+// unknown dims). Stateful nodes are opaque to autodiff.
+func Stateful(g *Graph, name string, outShape []int, fn StatefulFunc, ins ...*Node) *Node {
+	return g.Add(&statefulOp{name: name, shape: append([]int(nil), outShape...), fn: fn}, ins...)
+}
+
+// StatefulMultiFunc is a host computation with several outputs.
+type StatefulMultiFunc func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error)
+
+// statefulMultiBase evaluates the host function once per run and stashes the
+// outputs; pick nodes extract individual results. Session memoization
+// guarantees the base evaluates exactly once per Run, so all picks observe
+// one consistent invocation (e.g. one replay-memory sample).
+type statefulMultiBase struct {
+	name string
+	fn   StatefulMultiFunc
+	last []*tensor.Tensor
+}
+
+func (o *statefulMultiBase) Name() string                      { return o.name }
+func (o *statefulMultiBase) InferShape([][]int) ([]int, error) { return []int{}, nil }
+func (o *statefulMultiBase) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	outs, err := o.fn(in)
+	if err != nil {
+		return nil, err
+	}
+	o.last = outs
+	return tensor.Scalar(float64(len(outs))), nil
+}
+
+// statefulPickOp reads output i of its base node's latest evaluation.
+type statefulPickOp struct {
+	base  *statefulMultiBase
+	index int
+	shape []int
+}
+
+func (o *statefulPickOp) Name() string                      { return o.base.name + "Pick" }
+func (o *statefulPickOp) InferShape([][]int) ([]int, error) { return o.shape, nil }
+func (o *statefulPickOp) Eval(_ *RunCtx, _ []*tensor.Tensor) (*tensor.Tensor, error) {
+	if o.index >= len(o.base.last) {
+		return nil, fmt.Errorf("stateful %q produced %d outputs, want index %d",
+			o.base.name, len(o.base.last), o.index)
+	}
+	return o.base.last[o.index], nil
+}
+
+// StatefulMulti adds a host computation with len(outShapes) outputs,
+// returning one node per output.
+func StatefulMulti(g *Graph, name string, outShapes [][]int, fn StatefulMultiFunc, ins ...*Node) []*Node {
+	base := &statefulMultiBase{name: name, fn: fn}
+	baseNode := g.Add(base, ins...)
+	out := make([]*Node, len(outShapes))
+	for i, s := range outShapes {
+		out[i] = g.Add(&statefulPickOp{base: base, index: i, shape: append([]int(nil), s...)}, baseNode)
+	}
+	return out
+}
+
+// identityOp passes through its input.
+type identityOp struct{ name string }
+
+func (o identityOp) Name() string                         { return o.name }
+func (o identityOp) InferShape(in [][]int) ([]int, error) { return in[0], nil }
+func (o identityOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return in[0], nil
+}
+func (o identityOp) Grad(g *Graph, _ *Node, gy *Node) []*Node {
+	if o.name == "StopGradient" {
+		return []*Node{nil}
+	}
+	return []*Node{gy}
+}
+
+// Identity adds a pass-through node (useful for naming/devices).
+func Identity(g *Graph, x *Node) *Node { return g.Add(identityOp{name: "Identity"}, x) }
+
+// StopGradient passes x through but blocks gradient flow, as used around
+// target-network Q-values in the DQN loss.
+func StopGradient(g *Graph, x *Node) *Node { return g.Add(identityOp{name: "StopGradient"}, x) }
+
+// onesLikeOp yields a ones tensor with its input's runtime shape.
+type onesLikeOp struct{}
+
+func (onesLikeOp) Name() string                         { return "OnesLike" }
+func (onesLikeOp) InferShape(in [][]int) ([]int, error) { return in[0], nil }
+func (onesLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.Ones(in[0].Shape()...), nil
+}
+
+// OnesLike adds a node producing ones shaped like x at run time.
+func OnesLike(g *Graph, x *Node) *Node { return g.Add(onesLikeOp{}, x) }
+
+// zerosLikeOp yields a zeros tensor with its input's runtime shape.
+type zerosLikeOp struct{}
+
+func (zerosLikeOp) Name() string                         { return "ZerosLike" }
+func (zerosLikeOp) InferShape(in [][]int) ([]int, error) { return in[0], nil }
+func (zerosLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.New(in[0].Shape()...), nil
+}
+
+// ZerosLike adds a node producing zeros shaped like x at run time.
+func ZerosLike(g *Graph, x *Node) *Node { return g.Add(zerosLikeOp{}, x) }
+
+// reshapeLikeOp reshapes input 0 to input 1's runtime shape.
+type reshapeLikeOp struct{}
+
+func (reshapeLikeOp) Name() string                         { return "ReshapeLike" }
+func (reshapeLikeOp) InferShape(in [][]int) ([]int, error) { return in[1], nil }
+func (reshapeLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return in[0].Reshape(in[1].Shape()...), nil
+}
+
+// ReshapeLike adds a node reshaping x to ref's runtime shape (gradient
+// helper for Reshape).
+func ReshapeLike(g *Graph, x, ref *Node) *Node { return g.Add(reshapeLikeOp{}, x, ref) }
+
+// unbroadcastLikeOp sums input 0 down to input 1's runtime shape — the
+// adjoint of broadcasting.
+type unbroadcastLikeOp struct{}
+
+func (unbroadcastLikeOp) Name() string                         { return "UnbroadcastLike" }
+func (unbroadcastLikeOp) InferShape(in [][]int) ([]int, error) { return in[1], nil }
+func (unbroadcastLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.UnbroadcastTo(in[0], in[1].Shape()), nil
+}
+
+// UnbroadcastLike adds a node reducing gy to ref's runtime shape by summing
+// broadcast dimensions.
+func UnbroadcastLike(g *Graph, gy, ref *Node) *Node { return g.Add(unbroadcastLikeOp{}, gy, ref) }
+
+// broadcastLikeOp expands input 0 to input 1's runtime shape by broadcasting.
+type broadcastLikeOp struct{}
+
+func (broadcastLikeOp) Name() string                         { return "BroadcastLike" }
+func (broadcastLikeOp) InferShape(in [][]int) ([]int, error) { return in[1], nil }
+func (broadcastLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.Add(tensor.New(in[1].Shape()...), in[0]), nil
+}
+
+// BroadcastLike adds a node broadcasting x up to ref's runtime shape.
+func BroadcastLike(g *Graph, x, ref *Node) *Node { return g.Add(broadcastLikeOp{}, x, ref) }
+
+// sizeOfOp yields the element count of its input as a scalar.
+type sizeOfOp struct{}
+
+func (sizeOfOp) Name() string                      { return "SizeOf" }
+func (sizeOfOp) InferShape([][]int) ([]int, error) { return []int{}, nil }
+func (sizeOfOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return tensor.Scalar(float64(in[0].Size())), nil
+}
+
+// SizeOf adds a node yielding x's runtime element count.
+func SizeOf(g *Graph, x *Node) *Node { return g.Add(sizeOfOp{}, x) }

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rlgraph/internal/tensor"
+)
+
+// Property: autodiff is linear — d(a·f)/dx == a · df/dx for random scalars
+// and random elementwise programs.
+func TestGradientLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*4 - 2
+		x := tensor.RandNormal(rng, 0, 1, 2, 3)
+
+		gradOf := func(scale float64) *tensor.Tensor {
+			g := New()
+			xp := Placeholder(g, "x", x.Shape())
+			loss := Scale(g, Sum(g, Mul(g, Tanh(g, xp), Exp(g, Neg(g, Square(g, xp))))), scale)
+			grads := Gradients(g, loss, []*Node{xp})
+			sess := NewSession(g)
+			out, err := sess.Run1(grads[0], Feeds{xp: x})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		base := gradOf(1)
+		scaled := gradOf(a)
+		for i := range base.Data() {
+			if math.Abs(scaled.Data()[i]-a*base.Data()[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum rule — grad(f+g) == grad(f) + grad(g).
+func TestGradientSumRuleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.RandUniform(rng, 0.2, 2, 4)
+
+		gradOf := func(which int) *tensor.Tensor {
+			g := New()
+			xp := Placeholder(g, "x", x.Shape())
+			f1 := Sum(g, Square(g, xp))
+			f2 := Sum(g, Log(g, xp))
+			var loss *Node
+			switch which {
+			case 0:
+				loss = f1
+			case 1:
+				loss = f2
+			default:
+				loss = Add(g, f1, f2)
+			}
+			grads := Gradients(g, loss, []*Node{xp})
+			sess := NewSession(g)
+			out, err := sess.Run1(grads[0], Feeds{xp: x})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		g1, g2, gsum := gradOf(0), gradOf(1), gradOf(2)
+		for i := range gsum.Data() {
+			if math.Abs(gsum.Data()[i]-(g1.Data()[i]+g2.Data()[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: session evaluation is deterministic — two runs of a pure graph
+// with identical feeds agree exactly.
+func TestSessionDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.RandNormal(rng, 0, 1, 3, 3)
+		g := New()
+		xp := Placeholder(g, "x", x.Shape())
+		y := Softmax(g, MatMul(g, xp, Transpose(g, xp)))
+		sess := NewSession(g)
+		a, err := sess.Run1(y, Feeds{xp: x})
+		if err != nil {
+			return false
+		}
+		b, err := sess.Run1(y, Feeds{xp: x})
+		if err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gradient of matmul chains has the shape of the differentiated
+// node for random dimensions.
+func TestGradientShapeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+		x := tensor.RandNormal(rng, 0, 1, m, k)
+		w := tensor.RandNormal(rng, 0, 1, k, n)
+		g := New()
+		xp := Placeholder(g, "x", x.Shape())
+		wc := Const(g, w)
+		loss := Sum(g, Tanh(g, MatMul(g, xp, wc)))
+		grads := Gradients(g, loss, []*Node{xp, wc})
+		sess := NewSession(g)
+		outs, err := sess.Run(grads, Feeds{xp: x})
+		if err != nil {
+			return false
+		}
+		return tensor.SameShape(outs[0].Shape(), x.Shape()) &&
+			tensor.SameShape(outs[1].Shape(), w.Shape())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepGraphEvaluation(t *testing.T) {
+	// Long op chains (e.g. unrolled LSTMs) must evaluate without issue.
+	g := New()
+	x := Placeholder(g, "x", []int{1})
+	n := x
+	for i := 0; i < 2000; i++ {
+		n = AddScalar(g, n, 1)
+	}
+	sess := NewSession(g)
+	out, err := sess.Run1(n, Feeds{x: tensor.FromSlice([]float64{0}, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 2000 {
+		t.Fatalf("got %g", out.Data()[0])
+	}
+}
+
+func TestStatefulErrorPropagatesFromSession(t *testing.T) {
+	g := New()
+	bad := Stateful(g, "bad", []int{}, func([]*tensor.Tensor) (*tensor.Tensor, error) {
+		return nil, errBoom{}
+	})
+	sess := NewSession(g)
+	if _, err := sess.Run1(bad, nil); err == nil {
+		t.Fatal("stateful error swallowed")
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }

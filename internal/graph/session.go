@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"fmt"
+
+	"rlgraph/internal/tensor"
+)
+
+// Feeds maps placeholder nodes to their input values for one Run.
+type Feeds map[*Node]*tensor.Tensor
+
+// Session executes a graph. Like a TF session, it is created once per graph
+// and invoked repeatedly; each Run memoizes node values so shared sub-graphs
+// evaluate once. Sessions additionally keep counters the benchmarks use to
+// verify the "one batched session call per agent API call" property the
+// paper attributes to RLgraph's TF executor.
+type Session struct {
+	g *Graph
+
+	// RunCount is the total number of Run invocations.
+	RunCount int
+	// NodesEvaluated is the total number of op evaluations across runs.
+	NodesEvaluated int
+	// DeviceNodeCount tallies op evaluations per device across runs.
+	DeviceNodeCount map[string]int
+}
+
+// NewSession returns a session for g.
+func NewSession(g *Graph) *Session {
+	return &Session{g: g, DeviceNodeCount: make(map[string]int)}
+}
+
+// Graph returns the session's graph.
+func (s *Session) Graph() *Graph { return s.g }
+
+// Run evaluates the fetch nodes under the given feeds, returning one tensor
+// per fetch. All fetches (and their control dependencies) are evaluated
+// within a single memoized pass — the static-graph analogue of batching all
+// relevant operations into one session call.
+func (s *Session) Run(fetches []*Node, feeds Feeds) ([]*tensor.Tensor, error) {
+	s.RunCount++
+	ctx := &RunCtx{DeviceNodeCount: s.DeviceNodeCount}
+	memo := make(map[*Node]*tensor.Tensor, len(fetches)*4)
+	out := make([]*tensor.Tensor, len(fetches))
+	for i, f := range fetches {
+		v, err := s.eval(f, feeds, memo, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	s.NodesEvaluated += ctx.NodesEvaluated
+	return out, nil
+}
+
+// Run1 evaluates a single fetch.
+func (s *Session) Run1(fetch *Node, feeds Feeds) (*tensor.Tensor, error) {
+	vs, err := s.Run([]*Node{fetch}, feeds)
+	if err != nil {
+		return nil, err
+	}
+	return vs[0], nil
+}
+
+func (s *Session) eval(n *Node, feeds Feeds, memo map[*Node]*tensor.Tensor, ctx *RunCtx) (*tensor.Tensor, error) {
+	if n.g != s.g {
+		return nil, fmt.Errorf("graph: fetch %v belongs to a different graph", n)
+	}
+	if v, ok := feeds[n]; ok {
+		return v, nil
+	}
+	if v, ok := memo[n]; ok {
+		return v, nil
+	}
+	// Control dependencies run first; results are discarded.
+	for _, d := range n.deps {
+		if _, err := s.eval(d, feeds, memo, ctx); err != nil {
+			return nil, err
+		}
+	}
+	ins := make([]*tensor.Tensor, len(n.inputs))
+	for i, in := range n.inputs {
+		v, err := s.eval(in, feeds, memo, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = v
+	}
+	v, err := n.op.Eval(ctx, ins)
+	if err != nil {
+		return nil, fmt.Errorf("graph: evaluating %v: %w", n, err)
+	}
+	ctx.NodesEvaluated++
+	if ctx.DeviceNodeCount != nil {
+		ctx.DeviceNodeCount[n.device]++
+	}
+	memo[n] = v
+	return v, nil
+}

@@ -1,0 +1,223 @@
+// Package raysim is the distributed-execution substrate standing in for the
+// Ray actor engine (Moritz et al.): named actors with serial mailboxes,
+// asynchronous remote method calls returning futures, and a configurable
+// per-message latency/bandwidth cost model. The paper's distributed
+// experiments measure coordination efficiency — how many round trips and how
+// much per-call overhead an algorithm's execution plan incurs — which this
+// engine reproduces without a datacenter (see DESIGN.md §2).
+package raysim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlgraph/internal/tensor"
+)
+
+// Method is an actor method: invoked serially from the actor's goroutine.
+type Method func(args []interface{}) (interface{}, error)
+
+// Behavior is the method table of an actor.
+type Behavior map[string]Method
+
+// Config tunes the engine's communication cost model.
+type Config struct {
+	// PerCallLatency is added to every remote call's delivery (models IPC
+	// and scheduling overhead per task; Ray's is tens of microseconds).
+	PerCallLatency time.Duration
+	// BytesPerSecond models serialization/transfer cost of tensor payloads
+	// (0 disables the charge).
+	BytesPerSecond float64
+}
+
+// Cluster owns the actors and cost model.
+type Cluster struct {
+	cfg Config
+
+	mu     sync.Mutex
+	actors map[string]*ActorRef
+
+	// Calls counts remote invocations (the coordination-efficiency metric).
+	Calls int64
+	// BytesMoved tallies estimated payload bytes.
+	BytesMoved int64
+}
+
+// NewCluster returns an engine with the given cost model.
+func NewCluster(cfg Config) *Cluster {
+	return &Cluster{cfg: cfg, actors: make(map[string]*ActorRef)}
+}
+
+// call is one queued invocation.
+type call struct {
+	method    string
+	args      []interface{}
+	fut       *Future
+	notBefore time.Time
+}
+
+// ActorRef addresses an actor; methods execute serially in its goroutine.
+type ActorRef struct {
+	name     string
+	cluster  *Cluster
+	behavior Behavior
+	mailbox  chan call
+	done     chan struct{}
+	stopped  atomic.Bool
+}
+
+// Future is the result handle of a remote call.
+type Future struct {
+	ch   chan futResult
+	once sync.Once
+	res  futResult
+}
+
+type futResult struct {
+	val interface{}
+	err error
+}
+
+// Get blocks until the call completes.
+func (f *Future) Get() (interface{}, error) {
+	f.once.Do(func() { f.res = <-f.ch })
+	return f.res.val, f.res.err
+}
+
+// MustGet is Get, panicking on error (driver-loop convenience).
+func (f *Future) MustGet() interface{} {
+	v, err := f.Get()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// NewActor spawns an actor with the given behavior. The mailbox is bounded;
+// senders block when the actor falls far behind (backpressure).
+func (c *Cluster) NewActor(name string, behavior Behavior) *ActorRef {
+	a := &ActorRef{
+		name:     name,
+		cluster:  c,
+		behavior: behavior,
+		mailbox:  make(chan call, 1024),
+		done:     make(chan struct{}),
+	}
+	c.mu.Lock()
+	if _, dup := c.actors[name]; dup {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("raysim: duplicate actor %q", name))
+	}
+	c.actors[name] = a
+	c.mu.Unlock()
+	go a.run()
+	return a
+}
+
+// Actor returns a registered actor by name, or nil.
+func (c *Cluster) Actor(name string) *ActorRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.actors[name]
+}
+
+func (a *ActorRef) run() {
+	for msg := range a.mailbox {
+		// Model delivery latency: the message is not processable before
+		// its arrival time.
+		if wait := time.Until(msg.notBefore); wait > 0 {
+			time.Sleep(wait)
+		}
+		m := a.behavior[msg.method]
+		if m == nil {
+			msg.fut.ch <- futResult{err: fmt.Errorf("raysim: actor %q has no method %q", a.name, msg.method)}
+			continue
+		}
+		v, err := m(msg.args)
+		msg.fut.ch <- futResult{val: v, err: err}
+	}
+	close(a.done)
+}
+
+// Name returns the actor's registered name.
+func (a *ActorRef) Name() string { return a.name }
+
+// Call invokes a method asynchronously, returning a future. The engine's
+// latency and payload cost are charged to the delivery time.
+func (a *ActorRef) Call(method string, args ...interface{}) *Future {
+	if a.stopped.Load() {
+		f := &Future{ch: make(chan futResult, 1)}
+		f.ch <- futResult{err: fmt.Errorf("raysim: actor %q stopped", a.name)}
+		return f
+	}
+	atomic.AddInt64(&a.cluster.Calls, 1)
+	delay := a.cluster.cfg.PerCallLatency
+	if bps := a.cluster.cfg.BytesPerSecond; bps > 0 {
+		bytes := estimateBytes(args)
+		atomic.AddInt64(&a.cluster.BytesMoved, bytes)
+		delay += time.Duration(float64(bytes) / bps * float64(time.Second))
+	}
+	f := &Future{ch: make(chan futResult, 1)}
+	a.mailbox <- call{method: method, args: args, fut: f, notBefore: time.Now().Add(delay)}
+	return f
+}
+
+// Stop shuts the actor down after the mailbox drains.
+func (a *ActorRef) Stop() {
+	if a.stopped.CompareAndSwap(false, true) {
+		close(a.mailbox)
+	}
+}
+
+// Wait blocks until the actor goroutine exits.
+func (a *ActorRef) Wait() { <-a.done }
+
+// StopAll stops every actor and waits for them.
+func (c *Cluster) StopAll() {
+	c.mu.Lock()
+	actors := make([]*ActorRef, 0, len(c.actors))
+	for _, a := range c.actors {
+		actors = append(actors, a)
+	}
+	c.mu.Unlock()
+	for _, a := range actors {
+		a.Stop()
+	}
+	for _, a := range actors {
+		a.Wait()
+	}
+}
+
+// estimateBytes sizes tensor payloads (8 bytes per element) plus a fixed
+// per-arg envelope.
+func estimateBytes(args []interface{}) int64 {
+	var n int64
+	for _, a := range args {
+		n += 64 // envelope
+		n += payloadBytes(a)
+	}
+	return n
+}
+
+func payloadBytes(v interface{}) int64 {
+	switch x := v.(type) {
+	case *tensor.Tensor:
+		return int64(8 * x.Size())
+	case []*tensor.Tensor:
+		var n int64
+		for _, t := range x {
+			n += int64(8 * t.Size())
+		}
+		return n
+	case map[string]*tensor.Tensor:
+		var n int64
+		for _, t := range x {
+			n += int64(8 * t.Size())
+		}
+		return n
+	default:
+		return 0
+	}
+}

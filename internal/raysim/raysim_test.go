@@ -1,0 +1,176 @@
+package raysim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rlgraph/internal/tensor"
+)
+
+func TestActorCallReturnsResult(t *testing.T) {
+	c := NewCluster(Config{})
+	a := c.NewActor("adder", Behavior{
+		"add": func(args []interface{}) (interface{}, error) {
+			return args[0].(int) + args[1].(int), nil
+		},
+	})
+	defer c.StopAll()
+	v, err := a.Call("add", 2, 3).Get()
+	if err != nil || v.(int) != 5 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestUnknownMethodErrors(t *testing.T) {
+	c := NewCluster(Config{})
+	a := c.NewActor("x", Behavior{})
+	defer c.StopAll()
+	if _, err := a.Call("nope").Get(); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestActorSerializesCalls(t *testing.T) {
+	c := NewCluster(Config{})
+	n := 0
+	a := c.NewActor("counter", Behavior{
+		"inc": func([]interface{}) (interface{}, error) {
+			n++ // safe only if calls are serialized
+			return n, nil
+		},
+	})
+	defer c.StopAll()
+	var wg sync.WaitGroup
+	futs := make([]*Future, 100)
+	for i := range futs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			futs[i] = a.Call("inc")
+		}(i)
+	}
+	wg.Wait()
+	for _, f := range futs {
+		if _, err := f.Get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 100 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestFutureGetIsIdempotent(t *testing.T) {
+	c := NewCluster(Config{})
+	a := c.NewActor("one", Behavior{
+		"f": func([]interface{}) (interface{}, error) { return 1, nil },
+	})
+	defer c.StopAll()
+	f := a.Call("f")
+	v1, _ := f.Get()
+	v2, _ := f.Get()
+	if v1.(int) != 1 || v2.(int) != 1 {
+		t.Fatal("Get not idempotent")
+	}
+}
+
+func TestLatencyModelDelaysDelivery(t *testing.T) {
+	c := NewCluster(Config{PerCallLatency: 20 * time.Millisecond})
+	a := c.NewActor("slow", Behavior{
+		"f": func([]interface{}) (interface{}, error) { return nil, nil },
+	})
+	defer c.StopAll()
+	start := time.Now()
+	if _, err := a.Call("f").Get(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 18*time.Millisecond {
+		t.Fatalf("call returned after %v, latency not applied", d)
+	}
+}
+
+func TestBandwidthChargesTensorBytes(t *testing.T) {
+	c := NewCluster(Config{BytesPerSecond: 1e6}) // 1 MB/s
+	a := c.NewActor("bw", Behavior{
+		"f": func([]interface{}) (interface{}, error) { return nil, nil },
+	})
+	defer c.StopAll()
+	payload := tensor.New(2500) // 20 KB → ≥20 ms at 1 MB/s
+	start := time.Now()
+	if _, err := a.Call("f", payload).Get(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("payload not charged: %v", d)
+	}
+	if c.BytesMoved < 20000 {
+		t.Fatalf("bytes moved = %d", c.BytesMoved)
+	}
+}
+
+func TestCallCountsAndStop(t *testing.T) {
+	c := NewCluster(Config{})
+	a := c.NewActor("x", Behavior{
+		"f": func([]interface{}) (interface{}, error) { return nil, nil },
+	})
+	for i := 0; i < 5; i++ {
+		a.Call("f").MustGet()
+	}
+	if c.Calls != 5 {
+		t.Fatalf("calls = %d", c.Calls)
+	}
+	a.Stop()
+	a.Wait()
+	if _, err := a.Call("f").Get(); err == nil {
+		t.Fatal("stopped actor accepted call")
+	}
+}
+
+func TestDuplicateActorPanics(t *testing.T) {
+	c := NewCluster(Config{})
+	c.NewActor("dup", Behavior{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+		c.StopAll()
+	}()
+	c.NewActor("dup", Behavior{})
+}
+
+func TestPipelinedThroughput(t *testing.T) {
+	// Many in-flight calls to one actor complete in call order.
+	c := NewCluster(Config{})
+	a := c.NewActor("pipe", Behavior{
+		"echo": func(args []interface{}) (interface{}, error) { return args[0], nil },
+	})
+	defer c.StopAll()
+	futs := make([]*Future, 50)
+	for i := range futs {
+		futs[i] = a.Call("echo", i)
+	}
+	for i, f := range futs {
+		v, err := f.Get()
+		if err != nil || v.(int) != i {
+			t.Fatalf("fut %d = %v, %v", i, v, err)
+		}
+	}
+	if c.Actor("pipe") != a {
+		t.Fatal("lookup failed")
+	}
+}
+
+func TestPayloadEstimation(t *testing.T) {
+	b := estimateBytes([]interface{}{
+		tensor.New(10),
+		[]*tensor.Tensor{tensor.New(5), tensor.New(5)},
+		map[string]*tensor.Tensor{"w": tensor.New(3)},
+		fmt.Sprintf("x"),
+	})
+	want := int64(4*64 + 80 + 80 + 24)
+	if b != want {
+		t.Fatalf("bytes = %d, want %d", b, want)
+	}
+}

@@ -1,0 +1,189 @@
+package spaces
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"rlgraph/internal/tensor"
+)
+
+// Value is a (possibly nested) space element: either a tensor leaf, a dict of
+// values, or a tuple of values. Exactly one field is set.
+type Value struct {
+	Leaf  *tensor.Tensor
+	Dict  map[string]*Value
+	Tuple []*Value
+}
+
+// LeafValue wraps a tensor as a Value.
+func LeafValue(t *tensor.Tensor) *Value { return &Value{Leaf: t} }
+
+// IsLeaf reports whether v is a tensor leaf.
+func (v *Value) IsLeaf() bool { return v.Leaf != nil }
+
+// Get returns the sub-value for a dict key, panicking when absent.
+func (v *Value) Get(key string) *Value {
+	s, ok := v.Dict[key]
+	if !ok {
+		panic(fmt.Sprintf("spaces: value has no key %q", key))
+	}
+	return s
+}
+
+// At returns the i-th tuple sub-value.
+func (v *Value) At(i int) *Value { return v.Tuple[i] }
+
+// LeafPath names one primitive leaf within a container space, e.g.
+// "discrete" for Dict{discrete, cont} or "0/pos" for nested containers.
+type LeafPath struct {
+	Path  string
+	Space Space
+}
+
+// Flatten returns the ordered primitive leaves of a space. A primitive space
+// flattens to a single leaf with an empty path. Dict keys flatten in sorted
+// order; tuples in index order. This ordering is the contract behind
+// RLgraph's ContainerSplitter/Merger components.
+func Flatten(s Space) []LeafPath {
+	var out []LeafPath
+	var walk func(prefix string, s Space)
+	walk = func(prefix string, s Space) {
+		switch sp := s.(type) {
+		case *Dict:
+			for _, k := range sp.Keys() {
+				walk(join(prefix, k), sp.Sub(k))
+			}
+		case *Tuple:
+			for i := 0; i < sp.Len(); i++ {
+				walk(join(prefix, strconv.Itoa(i)), sp.Sub(i))
+			}
+		default:
+			out = append(out, LeafPath{Path: prefix, Space: s})
+		}
+	}
+	walk("", s)
+	return out
+}
+
+func join(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "/" + key
+}
+
+// FlattenValue returns v's tensor leaves in the same order Flatten(s) lists
+// the space's leaves.
+func FlattenValue(s Space, v *Value) []*tensor.Tensor {
+	var out []*tensor.Tensor
+	var walk func(s Space, v *Value)
+	walk = func(s Space, v *Value) {
+		switch sp := s.(type) {
+		case *Dict:
+			for _, k := range sp.Keys() {
+				walk(sp.Sub(k), v.Get(k))
+			}
+		case *Tuple:
+			for i := 0; i < sp.Len(); i++ {
+				walk(sp.Sub(i), v.At(i))
+			}
+		default:
+			if v.Leaf == nil {
+				panic("spaces: FlattenValue hit a non-leaf value at a primitive space")
+			}
+			out = append(out, v.Leaf)
+		}
+	}
+	walk(s, v)
+	return out
+}
+
+// UnflattenValue rebuilds a Value tree for space s from leaves listed in
+// Flatten order. It is the inverse of FlattenValue.
+func UnflattenValue(s Space, leaves []*tensor.Tensor) *Value {
+	i := 0
+	var walk func(s Space) *Value
+	walk = func(s Space) *Value {
+		switch sp := s.(type) {
+		case *Dict:
+			m := make(map[string]*Value, len(sp.Keys()))
+			for _, k := range sp.Keys() {
+				m[k] = walk(sp.Sub(k))
+			}
+			return &Value{Dict: m}
+		case *Tuple:
+			vs := make([]*Value, sp.Len())
+			for j := 0; j < sp.Len(); j++ {
+				vs[j] = walk(sp.Sub(j))
+			}
+			return &Value{Tuple: vs}
+		default:
+			if i >= len(leaves) {
+				panic("spaces: UnflattenValue ran out of leaves")
+			}
+			v := LeafValue(leaves[i])
+			i++
+			return v
+		}
+	}
+	out := walk(s)
+	if i != len(leaves) {
+		panic(fmt.Sprintf("spaces: UnflattenValue consumed %d of %d leaves", i, len(leaves)))
+	}
+	return out
+}
+
+// SampleContainer samples a full Value tree for any space (container or
+// primitive).
+func SampleContainer(s Space, rng *rand.Rand, batch int) *Value {
+	leaves := Flatten(s)
+	ts := make([]*tensor.Tensor, len(leaves))
+	for i, l := range leaves {
+		ts[i] = l.Space.Sample(rng, batch)
+	}
+	return UnflattenValue(s, ts)
+}
+
+// ZerosContainer builds a zero Value tree for any space.
+func ZerosContainer(s Space, batch int) *Value {
+	leaves := Flatten(s)
+	ts := make([]*tensor.Tensor, len(leaves))
+	for i, l := range leaves {
+		ts[i] = l.Space.Zeros(batch)
+	}
+	return UnflattenValue(s, ts)
+}
+
+// ContainsValue reports whether v is a valid element of s, recursing through
+// containers.
+func ContainsValue(s Space, v *Value) bool {
+	switch sp := s.(type) {
+	case *Dict:
+		if v.Dict == nil || len(v.Dict) != len(sp.Keys()) {
+			return false
+		}
+		for _, k := range sp.Keys() {
+			sub, ok := v.Dict[k]
+			if !ok || !ContainsValue(sp.Sub(k), sub) {
+				return false
+			}
+		}
+		return true
+	case *Tuple:
+		if len(v.Tuple) != sp.Len() {
+			return false
+		}
+		for i := 0; i < sp.Len(); i++ {
+			if !ContainsValue(sp.Sub(i), v.Tuple[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return v.Leaf != nil && s.Contains(v.Leaf)
+	}
+}
+
+// NumLeaves returns the number of primitive leaves of s.
+func NumLeaves(s Space) int { return len(Flatten(s)) }

@@ -1,0 +1,457 @@
+// Package spaces implements RLgraph's generalized space objects (paper §1,
+// §3.2). A Space describes the type and shape of data flowing through the
+// component graph independently of any backend: agents declare input spaces
+// for their root component, and the graph builder uses them to infer shapes,
+// create variables, and generate placeholders.
+//
+// Primitive spaces are boxes (FloatBox, IntBox, BoolBox) with an element
+// shape plus optional batch and time ranks. Container spaces (Dict, Tuple)
+// nest arbitrarily and can be flattened to an ordered list of primitive
+// leaves — the mechanism behind RLgraph's auto split/merge utilities.
+package spaces
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"rlgraph/internal/tensor"
+)
+
+// Space describes the type and shape of values exchanged between components.
+type Space interface {
+	// Shape returns the element shape excluding batch/time ranks.
+	Shape() []int
+	// HasBatchRank reports whether values carry a leading batch dimension.
+	HasBatchRank() bool
+	// HasTimeRank reports whether values carry a time dimension after batch.
+	HasTimeRank() bool
+	// WithBatchRank returns a copy of the space with a batch rank added.
+	WithBatchRank() Space
+	// WithTimeRank returns a copy of the space with a time rank added.
+	WithTimeRank() Space
+	// Sample draws one random element (with the given batch size if the
+	// space has a batch rank; pass 1 for unbatched use).
+	Sample(rng *rand.Rand, batch int) *tensor.Tensor
+	// Zeros returns a zero element with the given batch size.
+	Zeros(batch int) *tensor.Tensor
+	// Contains reports whether t is a valid (possibly batched) value.
+	Contains(t *tensor.Tensor) bool
+	// String renders a human-readable description.
+	String() string
+}
+
+// box holds the fields shared by the primitive spaces.
+type box struct {
+	shape     []int
+	batchRank bool
+	timeRank  bool
+}
+
+func (b box) Shape() []int       { return b.shape }
+func (b box) HasBatchRank() bool { return b.batchRank }
+func (b box) HasTimeRank() bool  { return b.timeRank }
+
+// fullShape prepends batch (and time) dims to the element shape.
+func (b box) fullShape(batch int) []int {
+	var s []int
+	if b.batchRank {
+		s = append(s, batch)
+	}
+	if b.timeRank {
+		s = append(s, 1)
+	}
+	return append(s, b.shape...)
+}
+
+// leadRanks counts how many leading dims a value carries beyond the element
+// shape.
+func (b box) leadRanks() int {
+	n := 0
+	if b.batchRank {
+		n++
+	}
+	if b.timeRank {
+		n++
+	}
+	return n
+}
+
+func (b box) containsShape(t *tensor.Tensor) bool {
+	want := len(b.shape) + b.leadRanks()
+	if t.Rank() != want {
+		return false
+	}
+	got := t.Shape()[b.leadRanks():]
+	return tensor.SameShape(got, b.shape)
+}
+
+func (b box) rankSuffix() string {
+	var tags []string
+	if b.batchRank {
+		tags = append(tags, "B")
+	}
+	if b.timeRank {
+		tags = append(tags, "T")
+	}
+	if len(tags) == 0 {
+		return ""
+	}
+	return "+" + strings.Join(tags, "")
+}
+
+// FloatBox is a continuous space with optional bounds.
+type FloatBox struct {
+	box
+	Low, High float64 // sampling bounds; Low==High==0 means unbounded N(0,1)
+}
+
+// NewFloatBox returns an unbounded float space with the given element shape.
+func NewFloatBox(shape ...int) *FloatBox {
+	return &FloatBox{box: box{shape: append([]int(nil), shape...)}}
+}
+
+// NewBoundedFloatBox returns a float space sampled uniformly from [low, high).
+func NewBoundedFloatBox(low, high float64, shape ...int) *FloatBox {
+	fb := NewFloatBox(shape...)
+	fb.Low, fb.High = low, high
+	return fb
+}
+
+// WithBatchRank returns a copy with a batch rank.
+func (f *FloatBox) WithBatchRank() Space {
+	c := *f
+	c.batchRank = true
+	return &c
+}
+
+// WithTimeRank returns a copy with a time rank.
+func (f *FloatBox) WithTimeRank() Space {
+	c := *f
+	c.timeRank = true
+	return &c
+}
+
+// Sample draws uniform samples within bounds, or N(0,1) if unbounded.
+func (f *FloatBox) Sample(rng *rand.Rand, batch int) *tensor.Tensor {
+	shape := f.fullShape(batch)
+	if f.Low == 0 && f.High == 0 {
+		return tensor.RandNormal(rng, 0, 1, shape...)
+	}
+	return tensor.RandUniform(rng, f.Low, f.High, shape...)
+}
+
+// Zeros returns a zero tensor of the batched shape.
+func (f *FloatBox) Zeros(batch int) *tensor.Tensor {
+	return tensor.New(f.fullShape(batch)...)
+}
+
+// Contains checks shape compatibility and bounds (if bounded).
+func (f *FloatBox) Contains(t *tensor.Tensor) bool {
+	if !f.containsShape(t) {
+		return false
+	}
+	if f.Low == 0 && f.High == 0 {
+		return true
+	}
+	for _, v := range t.Data() {
+		if v < f.Low || v > f.High {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *FloatBox) String() string {
+	return fmt.Sprintf("FloatBox%v%s", f.shape, f.rankSuffix())
+}
+
+// IntBox is a discrete space with values in [0, N).
+type IntBox struct {
+	box
+	N int // number of categories; 0 means unbounded non-negative ints
+}
+
+// NewIntBox returns a scalar discrete space with n categories.
+func NewIntBox(n int, shape ...int) *IntBox {
+	return &IntBox{box: box{shape: append([]int(nil), shape...)}, N: n}
+}
+
+// WithBatchRank returns a copy with a batch rank.
+func (i *IntBox) WithBatchRank() Space {
+	c := *i
+	c.batchRank = true
+	return &c
+}
+
+// WithTimeRank returns a copy with a time rank.
+func (i *IntBox) WithTimeRank() Space {
+	c := *i
+	c.timeRank = true
+	return &c
+}
+
+// Sample draws uniform category indices.
+func (i *IntBox) Sample(rng *rand.Rand, batch int) *tensor.Tensor {
+	t := tensor.New(i.fullShape(batch)...)
+	n := i.N
+	if n <= 0 {
+		n = 1 << 30
+	}
+	d := t.Data()
+	for k := range d {
+		d[k] = float64(rng.Intn(n))
+	}
+	return t
+}
+
+// Zeros returns a zero tensor of the batched shape.
+func (i *IntBox) Zeros(batch int) *tensor.Tensor {
+	return tensor.New(i.fullShape(batch)...)
+}
+
+// Contains checks shape, integrality and range.
+func (i *IntBox) Contains(t *tensor.Tensor) bool {
+	if !i.containsShape(t) {
+		return false
+	}
+	for _, v := range t.Data() {
+		if v != float64(int(v)) || v < 0 {
+			return false
+		}
+		if i.N > 0 && int(v) >= i.N {
+			return false
+		}
+	}
+	return true
+}
+
+func (i *IntBox) String() string {
+	return fmt.Sprintf("IntBox(%d)%v%s", i.N, i.shape, i.rankSuffix())
+}
+
+// BoolBox is a space of 0/1 values (e.g. terminal flags).
+type BoolBox struct {
+	box
+}
+
+// NewBoolBox returns a boolean space with the given element shape.
+func NewBoolBox(shape ...int) *BoolBox {
+	return &BoolBox{box: box{shape: append([]int(nil), shape...)}}
+}
+
+// WithBatchRank returns a copy with a batch rank.
+func (b *BoolBox) WithBatchRank() Space {
+	c := *b
+	c.batchRank = true
+	return &c
+}
+
+// WithTimeRank returns a copy with a time rank.
+func (b *BoolBox) WithTimeRank() Space {
+	c := *b
+	c.timeRank = true
+	return &c
+}
+
+// Sample draws independent fair coin flips.
+func (b *BoolBox) Sample(rng *rand.Rand, batch int) *tensor.Tensor {
+	t := tensor.New(b.fullShape(batch)...)
+	d := t.Data()
+	for k := range d {
+		if rng.Intn(2) == 1 {
+			d[k] = 1
+		}
+	}
+	return t
+}
+
+// Zeros returns a zero tensor of the batched shape.
+func (b *BoolBox) Zeros(batch int) *tensor.Tensor {
+	return tensor.New(b.fullShape(batch)...)
+}
+
+// Contains checks shape and 0/1-ness.
+func (b *BoolBox) Contains(t *tensor.Tensor) bool {
+	if !b.containsShape(t) {
+		return false
+	}
+	for _, v := range t.Data() {
+		if v != 0 && v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *BoolBox) String() string {
+	return fmt.Sprintf("BoolBox%v%s", b.shape, b.rankSuffix())
+}
+
+// Dict is a container space with named sub-spaces (paper Listing 1's action
+// space with one discrete and one continuous member). Keys are ordered
+// lexicographically for deterministic flattening.
+type Dict struct {
+	keys []string
+	subs map[string]Space
+}
+
+// NewDict builds a dict space from key/space pairs.
+func NewDict(pairs map[string]Space) *Dict {
+	d := &Dict{subs: make(map[string]Space, len(pairs))}
+	for k, v := range pairs {
+		d.keys = append(d.keys, k)
+		d.subs[k] = v
+	}
+	sort.Strings(d.keys)
+	return d
+}
+
+// Keys returns the sorted key list.
+func (d *Dict) Keys() []string { return d.keys }
+
+// Sub returns the sub-space for key.
+func (d *Dict) Sub(key string) Space { return d.subs[key] }
+
+// Shape panics: container spaces have no single shape.
+func (d *Dict) Shape() []int { panic("spaces: Dict has no primitive shape") }
+
+// HasBatchRank reports whether all leaves carry a batch rank.
+func (d *Dict) HasBatchRank() bool {
+	for _, k := range d.keys {
+		if !d.subs[k].HasBatchRank() {
+			return false
+		}
+	}
+	return len(d.keys) > 0
+}
+
+// HasTimeRank reports whether all leaves carry a time rank.
+func (d *Dict) HasTimeRank() bool {
+	for _, k := range d.keys {
+		if !d.subs[k].HasTimeRank() {
+			return false
+		}
+	}
+	return len(d.keys) > 0
+}
+
+// WithBatchRank applies WithBatchRank to every sub-space.
+func (d *Dict) WithBatchRank() Space {
+	m := make(map[string]Space, len(d.keys))
+	for _, k := range d.keys {
+		m[k] = d.subs[k].WithBatchRank()
+	}
+	return NewDict(m)
+}
+
+// WithTimeRank applies WithTimeRank to every sub-space.
+func (d *Dict) WithTimeRank() Space {
+	m := make(map[string]Space, len(d.keys))
+	for _, k := range d.keys {
+		m[k] = d.subs[k].WithTimeRank()
+	}
+	return NewDict(m)
+}
+
+// Sample panics: use SampleContainer to sample containers.
+func (d *Dict) Sample(*rand.Rand, int) *tensor.Tensor {
+	panic("spaces: Sample on Dict; use SampleContainer")
+}
+
+// Zeros panics: use ZerosContainer.
+func (d *Dict) Zeros(int) *tensor.Tensor {
+	panic("spaces: Zeros on Dict; use ZerosContainer")
+}
+
+// Contains panics: containers hold Value trees, not single tensors.
+func (d *Dict) Contains(*tensor.Tensor) bool {
+	panic("spaces: Contains on Dict; use ContainsValue")
+}
+
+func (d *Dict) String() string {
+	parts := make([]string, len(d.keys))
+	for i, k := range d.keys {
+		parts[i] = fmt.Sprintf("%s:%s", k, d.subs[k])
+	}
+	return "Dict{" + strings.Join(parts, ", ") + "}"
+}
+
+// Tuple is an ordered container space.
+type Tuple struct {
+	subs []Space
+}
+
+// NewTuple builds a tuple space from sub-spaces.
+func NewTuple(subs ...Space) *Tuple { return &Tuple{subs: subs} }
+
+// Len returns the number of sub-spaces.
+func (tp *Tuple) Len() int { return len(tp.subs) }
+
+// Sub returns sub-space i.
+func (tp *Tuple) Sub(i int) Space { return tp.subs[i] }
+
+// Shape panics: container spaces have no single shape.
+func (tp *Tuple) Shape() []int { panic("spaces: Tuple has no primitive shape") }
+
+// HasBatchRank reports whether all leaves carry a batch rank.
+func (tp *Tuple) HasBatchRank() bool {
+	for _, s := range tp.subs {
+		if !s.HasBatchRank() {
+			return false
+		}
+	}
+	return len(tp.subs) > 0
+}
+
+// HasTimeRank reports whether all leaves carry a time rank.
+func (tp *Tuple) HasTimeRank() bool {
+	for _, s := range tp.subs {
+		if !s.HasTimeRank() {
+			return false
+		}
+	}
+	return len(tp.subs) > 0
+}
+
+// WithBatchRank applies WithBatchRank to every sub-space.
+func (tp *Tuple) WithBatchRank() Space {
+	out := make([]Space, len(tp.subs))
+	for i, s := range tp.subs {
+		out[i] = s.WithBatchRank()
+	}
+	return NewTuple(out...)
+}
+
+// WithTimeRank applies WithTimeRank to every sub-space.
+func (tp *Tuple) WithTimeRank() Space {
+	out := make([]Space, len(tp.subs))
+	for i, s := range tp.subs {
+		out[i] = s.WithTimeRank()
+	}
+	return NewTuple(out...)
+}
+
+// Sample panics: use SampleContainer.
+func (tp *Tuple) Sample(*rand.Rand, int) *tensor.Tensor {
+	panic("spaces: Sample on Tuple; use SampleContainer")
+}
+
+// Zeros panics: use ZerosContainer.
+func (tp *Tuple) Zeros(int) *tensor.Tensor {
+	panic("spaces: Zeros on Tuple; use ZerosContainer")
+}
+
+// Contains panics: use ContainsValue.
+func (tp *Tuple) Contains(*tensor.Tensor) bool {
+	panic("spaces: Contains on Tuple; use ContainsValue")
+}
+
+func (tp *Tuple) String() string {
+	parts := make([]string, len(tp.subs))
+	for i, s := range tp.subs {
+		parts[i] = s.String()
+	}
+	return "Tuple(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,144 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2-D convolution in NHWC layout with filter layout
+// [KH, KW, InC, OutC].
+type ConvParams struct {
+	StrideH, StrideW int
+	PadH, PadW       int // symmetric zero padding
+}
+
+// ConvOutDims returns the spatial output dims for an input of h x w.
+func (p ConvParams) ConvOutDims(h, w, kh, kw int) (oh, ow int) {
+	oh = (h+2*p.PadH-kh)/p.StrideH + 1
+	ow = (w+2*p.PadW-kw)/p.StrideW + 1
+	return oh, ow
+}
+
+// SamePadding returns padding that preserves spatial dims at stride 1 (and
+// ceil-divides at larger strides, matching TF "SAME" for odd kernels).
+func SamePadding(kh, kw int) (padH, padW int) {
+	return (kh - 1) / 2, (kw - 1) / 2
+}
+
+// Im2Col unfolds input [N,H,W,C] into patches [N*OH*OW, KH*KW*C] so that
+// convolution becomes a single matmul against the reshaped filter.
+func Im2Col(input *Tensor, kh, kw int, p ConvParams) *Tensor {
+	if input.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col wants NHWC rank-4 input, got %v", input.shape))
+	}
+	n, h, w, c := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	cols := New(n*oh*ow, kh*kw*c)
+	row := 0
+	for b := 0; b < n; b++ {
+		imgBase := b * h * w * c
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*p.StrideH - p.PadH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*p.StrideW - p.PadW
+				dst := cols.data[row*kh*kw*c : (row+1)*kh*kw*c]
+				di := 0
+				for ky := 0; ky < kh; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= h {
+						di += kw * c // zero padding rows stay zero
+						continue
+					}
+					rowBase := imgBase + iy*w*c
+					for kx := 0; kx < kw; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= w {
+							di += c
+							continue
+						}
+						copy(dst[di:di+c], input.data[rowBase+ix*c:rowBase+ix*c+c])
+						di += c
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds patch gradients [N*OH*OW, KH*KW*C] back into an input-shaped
+// gradient [N,H,W,C], accumulating overlapping contributions. The adjoint of
+// Im2Col.
+func Col2Im(cols *Tensor, n, h, w, c, kh, kw int, p ConvParams) *Tensor {
+	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	out := New(n, h, w, c)
+	row := 0
+	for b := 0; b < n; b++ {
+		imgBase := b * h * w * c
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*p.StrideH - p.PadH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*p.StrideW - p.PadW
+				src := cols.data[row*kh*kw*c : (row+1)*kh*kw*c]
+				si := 0
+				for ky := 0; ky < kh; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= h {
+						si += kw * c
+						continue
+					}
+					rowBase := imgBase + iy*w*c
+					for kx := 0; kx < kw; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= w {
+							si += c
+							continue
+						}
+						dst := out.data[rowBase+ix*c : rowBase+ix*c+c]
+						for j := 0; j < c; j++ {
+							dst[j] += src[si+j]
+						}
+						si += c
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// Conv2D computes an NHWC convolution: input [N,H,W,C] * filter [KH,KW,C,OC]
+// -> [N,OH,OW,OC].
+func Conv2D(input, filter *Tensor, p ConvParams) *Tensor {
+	if filter.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D wants rank-4 filter, got %v", filter.shape))
+	}
+	kh, kw, c, oc := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
+	if input.shape[3] != c {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input %v filter %v", input.shape, filter.shape))
+	}
+	n, h, w := input.shape[0], input.shape[1], input.shape[2]
+	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	cols := Im2Col(input, kh, kw, p)    // [N*OH*OW, KH*KW*C]
+	fmat := filter.Reshape(kh*kw*c, oc) // [KH*KW*C, OC]
+	out := MatMul(cols, fmat)           // [N*OH*OW, OC]
+	return out.Reshape(n, oh, ow, oc)
+}
+
+// Conv2DBackwardInput returns dL/dInput for a Conv2D.
+func Conv2DBackwardInput(gradOut, filter *Tensor, inputShape []int, p ConvParams) *Tensor {
+	kh, kw, c, oc := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
+	n, h, w := inputShape[0], inputShape[1], inputShape[2]
+	gm := gradOut.Reshape(-1, oc)       // [N*OH*OW, OC]
+	fmat := filter.Reshape(kh*kw*c, oc) // [KH*KW*C, OC]
+	colsGrad := MatMulTransB(gm, fmat)  // [N*OH*OW, KH*KW*C]
+	return Col2Im(colsGrad, n, h, w, c, kh, kw, p)
+}
+
+// Conv2DBackwardFilter returns dL/dFilter for a Conv2D.
+func Conv2DBackwardFilter(input, gradOut *Tensor, filterShape []int, p ConvParams) *Tensor {
+	kh, kw, c, oc := filterShape[0], filterShape[1], filterShape[2], filterShape[3]
+	cols := Im2Col(input, kh, kw, p) // [N*OH*OW, KH*KW*C]
+	gm := gradOut.Reshape(-1, oc)    // [N*OH*OW, OC]
+	fgrad := MatMulTransA(cols, gm)  // [KH*KW*C, OC]
+	return fgrad.Reshape(kh, kw, c, oc)
+}

@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveConv2D is a direct quadruple-loop reference used to validate the
+// im2col fast path.
+func naiveConv2D(input, filter *Tensor, p ConvParams) *Tensor {
+	n, h, w, c := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	kh, kw, _, oc := filter.Dim(0), filter.Dim(1), filter.Dim(2), filter.Dim(3)
+	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	out := New(n, oh, ow, oc)
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for f := 0; f < oc; f++ {
+					sum := 0.0
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							iy := oy*p.StrideH - p.PadH + ky
+							ix := ox*p.StrideW - p.PadW + kx
+							if iy < 0 || iy >= h || ix < 0 || ix >= w {
+								continue
+							}
+							for ch := 0; ch < c; ch++ {
+								sum += input.At(b, iy, ix, ch) * filter.At(ky, kx, ch, f)
+							}
+						}
+					}
+					out.Set(sum, b, oy, ox, f)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		n, h, w, c, kh, kw, oc, sh, sw, ph, pw int
+	}{
+		{1, 5, 5, 1, 3, 3, 2, 1, 1, 0, 0},
+		{2, 8, 8, 3, 3, 3, 4, 2, 2, 1, 1},
+		{1, 7, 9, 2, 5, 3, 3, 2, 1, 2, 1},
+		{3, 4, 4, 1, 1, 1, 2, 1, 1, 0, 0},
+	} {
+		in := RandNormal(rng, 0, 1, tc.n, tc.h, tc.w, tc.c)
+		f := RandNormal(rng, 0, 1, tc.kh, tc.kw, tc.c, tc.oc)
+		p := ConvParams{StrideH: tc.sh, StrideW: tc.sw, PadH: tc.ph, PadW: tc.pw}
+		got := Conv2D(in, f, p)
+		want := naiveConv2D(in, f, p)
+		if !got.AllClose(want, 1e-9) {
+			t.Fatalf("conv mismatch for %+v", tc)
+		}
+	}
+}
+
+func TestConvOutDims(t *testing.T) {
+	p := ConvParams{StrideH: 4, StrideW: 4, PadH: 0, PadW: 0}
+	oh, ow := p.ConvOutDims(84, 84, 8, 8)
+	if oh != 20 || ow != 20 {
+		t.Fatalf("got %dx%d, want 20x20", oh, ow)
+	}
+}
+
+func TestSamePaddingPreservesDims(t *testing.T) {
+	ph, pw := SamePadding(3, 3)
+	p := ConvParams{StrideH: 1, StrideW: 1, PadH: ph, PadW: pw}
+	oh, ow := p.ConvOutDims(10, 12, 3, 3)
+	if oh != 10 || ow != 12 {
+		t.Fatalf("got %dx%d", oh, ow)
+	}
+}
+
+// TestConvGradientsAdjoint verifies the backward kernels against the adjoint
+// identity <Conv(x), gy> == <x, ConvBwdInput(gy)> and the filter analogue.
+func TestConvGradientsAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := RandNormal(rng, 0, 1, 2, 6, 6, 2)
+	f := RandNormal(rng, 0, 1, 3, 3, 2, 3)
+	p := ConvParams{StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	out := Conv2D(in, f, p)
+	gy := RandNormal(rng, 0, 1, out.Shape()...)
+
+	gin := Conv2DBackwardInput(gy, f, in.Shape(), p)
+	lhs := Dot(out.Flatten(), gy.Flatten())
+	rhs := Dot(in.Flatten(), gin.Flatten())
+	// The forward map is linear in the input, so these inner products agree
+	// only when in is reused; test the bilinear identity instead:
+	// <Conv(x), gy> = <x, Bwd(gy)> holds exactly for linear maps.
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Fatalf("input adjoint mismatch: %g vs %g", lhs, rhs)
+	}
+
+	gf := Conv2DBackwardFilter(in, gy, f.Shape(), p)
+	rhs2 := Dot(f.Flatten(), gf.Flatten())
+	if math.Abs(lhs-rhs2) > 1e-9 {
+		t.Fatalf("filter adjoint mismatch: %g vs %g", lhs, rhs2)
+	}
+}
+
+// TestConvGradientFiniteDifference cross-checks one filter weight's gradient
+// against a central finite difference of a scalar loss.
+func TestConvGradientFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := RandNormal(rng, 0, 1, 1, 5, 5, 1)
+	f := RandNormal(rng, 0, 1, 3, 3, 1, 2)
+	p := ConvParams{StrideH: 1, StrideW: 1, PadH: 0, PadW: 0}
+	loss := func(filter *Tensor) float64 {
+		out := Conv2D(in, filter, p)
+		return Sum(Square(out)).Item()
+	}
+	out := Conv2D(in, f, p)
+	gy := Scale(out, 2) // d(sum(out^2))/dout
+	gf := Conv2DBackwardFilter(in, gy, f.Shape(), p)
+
+	const eps = 1e-6
+	for _, k := range []int{0, 7, 13} {
+		fp := f.Clone()
+		fp.Data()[k] += eps
+		fm := f.Clone()
+		fm.Data()[k] -= eps
+		num := (loss(fp) - loss(fm)) / (2 * eps)
+		if math.Abs(num-gf.Data()[k]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("fd mismatch at %d: %g vs %g", k, num, gf.Data()[k])
+		}
+	}
+}
+
+func TestIm2ColCol2ImAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := RandNormal(rng, 0, 1, 1, 4, 4, 2)
+	p := ConvParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	cols := Im2Col(in, 3, 3, p)
+	y := RandNormal(rng, 0, 1, cols.Shape()...)
+	back := Col2Im(y, 1, 4, 4, 2, 3, 3, p)
+	lhs := Dot(cols.Flatten(), y.Flatten())
+	rhs := Dot(in.Flatten(), back.Flatten())
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Fatalf("adjoint mismatch %g vs %g", lhs, rhs)
+	}
+}

@@ -1,0 +1,288 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// BroadcastShapes returns the NumPy-style broadcast result of a and b, or an
+// error if the shapes are incompatible.
+func BroadcastShapes(a, b []int) ([]int, error) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		da, db := 1, 1
+		if i >= n-len(a) {
+			da = a[i-(n-len(a))]
+		}
+		if i >= n-len(b) {
+			db = b[i-(n-len(b))]
+		}
+		switch {
+		case da == db:
+			out[i] = da
+		case da == 1:
+			out[i] = db
+		case db == 1:
+			out[i] = da
+		default:
+			return nil, fmt.Errorf("tensor: cannot broadcast %v with %v", a, b)
+		}
+	}
+	return out, nil
+}
+
+// broadcastIndexer produces, for an output shape, the flat source offset in a
+// tensor of shape src for each output element. Dimensions of size 1 in src
+// repeat.
+type broadcastIndexer struct {
+	outShape  []int
+	srcStride []int // stride per output dim (0 where src dim == 1)
+}
+
+func newBroadcastIndexer(src, out []int) broadcastIndexer {
+	pad := len(out) - len(src)
+	strides := Strides(src)
+	ss := make([]int, len(out))
+	for i := range out {
+		if i < pad {
+			ss[i] = 0
+			continue
+		}
+		if src[i-pad] == 1 {
+			ss[i] = 0
+		} else {
+			ss[i] = strides[i-pad]
+		}
+	}
+	return broadcastIndexer{outShape: out, srcStride: ss}
+}
+
+// forEach walks the output space in row-major order invoking fn with the
+// source offset for each output position.
+func (bi broadcastIndexer) forEach(fn func(outIdx, srcIdx int)) {
+	n := NumElems(bi.outShape)
+	if n == 0 {
+		return
+	}
+	idx := make([]int, len(bi.outShape))
+	src := 0
+	for out := 0; out < n; out++ {
+		fn(out, src)
+		// Increment multi-index.
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			src += bi.srcStride[d]
+			if idx[d] < bi.outShape[d] {
+				break
+			}
+			src -= idx[d] * bi.srcStride[d]
+			idx[d] = 0
+		}
+	}
+}
+
+// binary applies fn elementwise with broadcasting.
+func binary(a, b *Tensor, fn func(x, y float64) float64) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		for i := range out.data {
+			out.data[i] = fn(a.data[i], b.data[i])
+		}
+		return out
+	}
+	shape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		panic(err)
+	}
+	out := New(shape...)
+	ai := newBroadcastIndexer(a.shape, shape)
+	biB := newBroadcastIndexer(b.shape, shape)
+	// Walk both indexers in lockstep by materializing source offsets.
+	aoff := make([]int, out.Size())
+	ai.forEach(func(o, s int) { aoff[o] = s })
+	biB.forEach(func(o, s int) { out.data[o] = fn(a.data[aoff[o]], b.data[s]) })
+	return out
+}
+
+// Add returns a + b with broadcasting.
+func Add(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a - b with broadcasting.
+func Sub(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns a * b elementwise with broadcasting.
+func Mul(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x * y }) }
+
+// Div returns a / b elementwise with broadcasting.
+func Div(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x / y }) }
+
+// Pow returns a ** b elementwise with broadcasting.
+func Pow(a, b *Tensor) *Tensor { return binary(a, b, math.Pow) }
+
+// Maximum returns the elementwise max with broadcasting.
+func Maximum(a, b *Tensor) *Tensor { return binary(a, b, math.Max) }
+
+// Minimum returns the elementwise min with broadcasting.
+func Minimum(a, b *Tensor) *Tensor { return binary(a, b, math.Min) }
+
+// GreaterEqual returns 1 where a >= b else 0, with broadcasting.
+func GreaterEqual(a, b *Tensor) *Tensor {
+	return binary(a, b, func(x, y float64) float64 {
+		if x >= y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Less returns 1 where a < b else 0, with broadcasting.
+func Less(a, b *Tensor) *Tensor {
+	return binary(a, b, func(x, y float64) float64 {
+		if x < y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// EqualElems returns 1 where a == b else 0, with broadcasting.
+func EqualElems(a, b *Tensor) *Tensor {
+	return binary(a, b, func(x, y float64) float64 {
+		if x == y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Where returns a where cond is nonzero, else b, with broadcasting across all
+// three operands.
+func Where(cond, a, b *Tensor) *Tensor {
+	s1, err := BroadcastShapes(cond.shape, a.shape)
+	if err != nil {
+		panic(err)
+	}
+	shape, err := BroadcastShapes(s1, b.shape)
+	if err != nil {
+		panic(err)
+	}
+	out := New(shape...)
+	coff := make([]int, out.Size())
+	aoff := make([]int, out.Size())
+	newBroadcastIndexer(cond.shape, shape).forEach(func(o, s int) { coff[o] = s })
+	newBroadcastIndexer(a.shape, shape).forEach(func(o, s int) { aoff[o] = s })
+	newBroadcastIndexer(b.shape, shape).forEach(func(o, s int) {
+		if cond.data[coff[o]] != 0 {
+			out.data[o] = a.data[aoff[o]]
+		} else {
+			out.data[o] = b.data[s]
+		}
+	})
+	return out
+}
+
+// unary applies fn to every element.
+func unary(a *Tensor, fn func(x float64) float64) *Tensor {
+	out := New(a.shape...)
+	for i := range out.data {
+		out.data[i] = fn(a.data[i])
+	}
+	return out
+}
+
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor { return unary(a, func(x float64) float64 { return -x }) }
+
+// Abs returns |a|.
+func Abs(a *Tensor) *Tensor { return unary(a, math.Abs) }
+
+// Exp returns e**a elementwise.
+func Exp(a *Tensor) *Tensor { return unary(a, math.Exp) }
+
+// Log returns ln(a) elementwise.
+func Log(a *Tensor) *Tensor { return unary(a, math.Log) }
+
+// Sqrt returns sqrt(a) elementwise.
+func Sqrt(a *Tensor) *Tensor { return unary(a, math.Sqrt) }
+
+// Square returns a*a elementwise.
+func Square(a *Tensor) *Tensor { return unary(a, func(x float64) float64 { return x * x }) }
+
+// Relu returns max(a, 0) elementwise.
+func Relu(a *Tensor) *Tensor { return unary(a, func(x float64) float64 { return math.Max(x, 0) }) }
+
+// ReluGrad returns 1 where a > 0 else 0.
+func ReluGrad(a *Tensor) *Tensor {
+	return unary(a, func(x float64) float64 {
+		if x > 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Tensor) *Tensor { return unary(a, math.Tanh) }
+
+// Sigmoid returns 1/(1+e^-a) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	return unary(a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// Clip limits every element to [lo, hi].
+func Clip(a *Tensor, lo, hi float64) *Tensor {
+	return unary(a, func(x float64) float64 { return math.Max(lo, math.Min(hi, x)) })
+}
+
+// Scale returns a*s elementwise.
+func Scale(a *Tensor, s float64) *Tensor {
+	return unary(a, func(x float64) float64 { return x * s })
+}
+
+// AddScalar returns a+s elementwise.
+func AddScalar(a *Tensor, s float64) *Tensor {
+	return unary(a, func(x float64) float64 { return x + s })
+}
+
+// AddInPlace accumulates src (same shape) into dst.
+func AddInPlace(dst, src *Tensor) {
+	if !SameShape(dst.shape, src.shape) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	for i := range dst.data {
+		dst.data[i] += src.data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element of dst by s.
+func ScaleInPlace(dst *Tensor, s float64) {
+	for i := range dst.data {
+		dst.data[i] *= s
+	}
+}
+
+// Fill sets every element of dst to v.
+func Fill(dst *Tensor, v float64) {
+	for i := range dst.data {
+		dst.data[i] = v
+	}
+}
+
+// UnbroadcastTo reduces grad (shaped like the broadcast output) back to
+// target shape by summing over the broadcast dimensions. This is the standard
+// gradient rule for broadcasting ops.
+func UnbroadcastTo(grad *Tensor, target []int) *Tensor {
+	if SameShape(grad.shape, target) {
+		return grad.Clone()
+	}
+	out := New(target...)
+	bi := newBroadcastIndexer(target, grad.shape)
+	bi.forEach(func(gradIdx, srcIdx int) {
+		out.data[srcIdx] += grad.data[gradIdx]
+	})
+	return out
+}

@@ -1,0 +1,121 @@
+package tensor
+
+import "fmt"
+
+// MatMul multiplies two rank-2 tensors: [m,k] x [k,n] -> [m,n].
+// The inner loop is ordered i-k-j so the innermost accesses are sequential,
+// which matters for the conv/im2col path built on top of this kernel.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*n : (kk+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransA computes aᵀ x b for a:[k,m], b:[k,n] -> [m,n] without
+// materializing the transpose.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA wants rank-2 operands, got %v x %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for kk := 0; kk < k; kk++ {
+		arow := ad[kk*m : (kk+1)*m]
+		brow := bd[kk*n : (kk+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := od[i*n : (i+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB computes a x bᵀ for a:[m,k], b:[n,k] -> [m,n] without
+// materializing the transpose.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB wants rank-2 operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			sum := 0.0
+			for kk := range arow {
+				sum += arow[kk] * brow[kk]
+			}
+			od[i*n+j] = sum
+		}
+	}
+	return out
+}
+
+// MatVec multiplies a rank-2 tensor [m,k] with a rank-1 vector [k] -> [m].
+func MatVec(a, v *Tensor) *Tensor {
+	if a.Rank() != 2 || v.Rank() != 1 || a.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch %v x %v", a.shape, v.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		sum := 0.0
+		for j := range row {
+			sum += row[j] * v.data[j]
+		}
+		out.data[i] = sum
+	}
+	return out
+}
+
+// Dot returns the inner product of two rank-1 tensors of equal length.
+func Dot(a, b *Tensor) float64 {
+	if a.Rank() != 1 || b.Rank() != 1 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: Dot shape mismatch %v . %v", a.shape, b.shape))
+	}
+	sum := 0.0
+	for i := range a.data {
+		sum += a.data[i] * b.data[i]
+	}
+	return sum
+}

@@ -1,0 +1,107 @@
+// Package viz renders component graphs and dataflow graphs as Graphviz DOT
+// documents — the substitute for the paper's TensorBoard visualizations
+// (Appendix A). Because RLgraph manages scopes and device assignments per
+// component, the rendered graphs cluster operations by component scope and
+// color them by device, reproducing the property the paper highlights:
+// dataflow between components is visible at a glance, unlike the fragmented
+// graphs of ad-hoc implementations.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rlgraph/internal/component"
+	"rlgraph/internal/graph"
+)
+
+// deviceColor assigns a stable pastel color per device name ("" = default).
+func deviceColor(device string) string {
+	switch {
+	case device == "":
+		return "#e8e8e8"
+	case strings.HasPrefix(device, "gpu"):
+		return "#b6e3b6" // green, as in the paper's figures
+	case strings.HasPrefix(device, "cpu"):
+		return "#bcd6f5" // blue
+	default:
+		return "#f2d7b6"
+	}
+}
+
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// WriteComponentGraph renders the component tree: one cluster per component
+// with its API methods as nodes, colored by effective device.
+func WriteComponentGraph(w io.Writer, root *component.Component) error {
+	var b strings.Builder
+	b.WriteString("digraph components {\n")
+	b.WriteString("  rankdir=BT;\n  node [shape=box, style=filled, fontsize=10];\n")
+
+	var walk func(c *component.Component, depth int)
+	walk = func(c *component.Component, depth int) {
+		ind := strings.Repeat("  ", depth+1)
+		fmt.Fprintf(&b, "%ssubgraph %s {\n", ind, quote("cluster_"+c.Scope()))
+		fmt.Fprintf(&b, "%s  label=%s;\n", ind, quote(c.Name()))
+		fmt.Fprintf(&b, "%s  style=filled; color=%s;\n", ind, quote(deviceColor(c.Device())))
+		apis := append([]string(nil), c.APINames()...)
+		sort.Strings(apis)
+		if len(apis) == 0 {
+			// Anchor node so empty components still render.
+			fmt.Fprintf(&b, "%s  %s [label=%s, fillcolor=white];\n",
+				ind, quote(c.Scope()+"/·"), quote("·"))
+		}
+		for _, api := range apis {
+			fmt.Fprintf(&b, "%s  %s [label=%s, fillcolor=white];\n",
+				ind, quote(c.Scope()+"/"+api), quote(api))
+		}
+		for _, sub := range c.Subs() {
+			walk(sub, depth+1)
+		}
+		fmt.Fprintf(&b, "%s}\n", ind)
+	}
+	walk(root, 0)
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteDataflowGraph renders a built dataflow graph: operations as nodes
+// colored by device, edges following data dependencies. Mixed-device graphs
+// show exactly where tensors cross devices (the paper's IMPALA figure).
+func WriteDataflowGraph(w io.Writer, g *graph.Graph) error {
+	var b strings.Builder
+	b.WriteString("digraph dataflow {\n")
+	b.WriteString("  rankdir=BT;\n  node [shape=box, style=filled, fontsize=9];\n")
+	for _, n := range g.Nodes() {
+		label := n.Op().Name()
+		if n.Name() != "" {
+			label += "\\n" + n.Name()
+		}
+		fmt.Fprintf(&b, "  n%d [label=%s, fillcolor=%s];\n",
+			n.ID(), quote(label), quote(deviceColor(n.Device())))
+	}
+	for _, n := range g.Nodes() {
+		for _, in := range n.Inputs() {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID(), n.ID())
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DeviceSummary tallies node counts per device for a built graph — the
+// quick check the paper uses visualization for (are ops where they should
+// be?).
+func DeviceSummary(g *graph.Graph) map[string]int {
+	out := map[string]int{}
+	for _, n := range g.Nodes() {
+		out[n.Device()]++
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/components/nn"
+	"rlgraph/internal/exec"
+	"rlgraph/internal/spaces"
+)
+
+func builtAgent(t *testing.T) *agents.DQN {
+	t.Helper()
+	cfg := agents.DQNConfig{
+		Backend: "static",
+		Network: []nn.LayerSpec{{Type: "dense", Units: 8, Activation: "relu"}},
+		Memory:  agents.MemoryConfig{Type: "prioritized", Capacity: 64},
+		Seed:    1,
+	}
+	a, err := agents.NewDQN(cfg, spaces.NewFloatBox(4), spaces.NewIntBox(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestComponentGraphDOT(t *testing.T) {
+	a := builtAgent(t)
+	var sb strings.Builder
+	if err := WriteComponentGraph(&sb, a.Root()); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{
+		"digraph components",
+		`cluster_dqn-agent`,
+		`cluster_dqn-agent/memory/segment-tree`, // Fig. 2's sub-component
+		`label="update_from_memory"`,
+		`label="sync_target"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("unterminated DOT")
+	}
+}
+
+func TestDataflowGraphDOTWithDevices(t *testing.T) {
+	a := builtAgent(t)
+	// Assign components to devices post-hoc not possible (already built);
+	// instead verify the default-device coloring and edge structure.
+	st := a.Executor().(*exec.StaticExecutor)
+	var sb strings.Builder
+	if err := WriteDataflowGraph(&sb, st.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	if !strings.Contains(dot, "digraph dataflow") || !strings.Contains(dot, "->") {
+		t.Fatal("dataflow DOT malformed")
+	}
+	if !strings.Contains(dot, "MatMul") {
+		t.Fatal("op labels missing")
+	}
+	sum := DeviceSummary(st.Graph())
+	if sum[""] == 0 {
+		t.Fatalf("device summary = %v", sum)
+	}
+}
+
+func TestDeviceColors(t *testing.T) {
+	if deviceColor("gpu0") == deviceColor("cpu0") {
+		t.Fatal("gpu and cpu share a color")
+	}
+	if deviceColor("") == "" || deviceColor("tpu7") == "" {
+		t.Fatal("missing fallback colors")
+	}
+}
