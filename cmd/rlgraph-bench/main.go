@@ -13,12 +13,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"rlgraph/internal/benchkit"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, all")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	flag.Parse()
 
@@ -29,9 +30,10 @@ func main() {
 
 	runners := map[string]func(benchkit.Scale) error{
 		"5a": fig5a, "5b": fig5b, "6": fig6, "7a": fig7a, "7b": fig7b, "8": fig8, "9": fig9,
+		"chaos": chaos,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9"} {
+		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos"} {
 			if err := runners[k](scale); err != nil {
 				log.Fatalf("figure %s: %v", k, err)
 			}
@@ -137,6 +139,19 @@ func fig8(s benchkit.Scale) error {
 		} else {
 			fmt.Printf("  not solved within update budget\n")
 		}
+	}
+	return nil
+}
+
+func chaos(s benchkit.Scale) error {
+	header("Chaos — Ape-X throughput under injected faults")
+	rows, err := benchkit.Chaos(4, s.ApexDuration, s.PongPoints)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("scenario=%-14s fps=%-8.0f updates=%-6d restarts=%-3d failed=%-4d timed_out=%-4d degraded=%s\n",
+			r.Scenario, r.FPS, r.Updates, r.Restarts, r.FailedCalls, r.TimedOutCalls, r.Degraded.Round(time.Millisecond))
 	}
 	return nil
 }

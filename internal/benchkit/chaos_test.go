@@ -1,0 +1,29 @@
+package benchkit
+
+import "testing"
+
+func TestChaosSmoke(t *testing.T) {
+	rows, err := Chaos(2, quickChaosDuration, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d scenarios, want 4", len(rows))
+	}
+	if rows[0].Scenario != "clean" || rows[0].Restarts != 0 {
+		t.Fatalf("clean baseline polluted: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.FPS <= 0 {
+			t.Fatalf("scenario %s collected no frames: %+v", r.Scenario, r)
+		}
+	}
+	// The crash scenario must exercise the supervisor.
+	if rows[1].Restarts < 1 {
+		t.Fatalf("worker-crash scenario saw no restart: %+v", rows[1])
+	}
+	// The flaky scenario must record injected call failures.
+	if rows[2].FailedCalls == 0 {
+		t.Fatalf("flaky-worker scenario recorded no failed calls: %+v", rows[2])
+	}
+}

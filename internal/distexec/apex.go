@@ -3,10 +3,15 @@
 // replay — workers, replay shards, one learner; Horgan et al. 2018) and the
 // IMPALA executor (queue-fed actor-learner; Espeholt et al. 2018). They
 // realize the paper's separation of concerns: agents define local graphs,
-// executors own all distributed coordination (§4.1).
+// executors own all distributed coordination (§4.1) — including fault
+// tolerance: supervised workers restart with capped exponential backoff,
+// learner-path calls carry deadlines so a hung shard stalls one iteration
+// rather than the run, and runs degrade gracefully down to a configurable
+// minimum of healthy workers.
 package distexec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,6 +25,9 @@ import (
 	"rlgraph/internal/spaces"
 	"rlgraph/internal/tensor"
 )
+
+// maxRestartBackoff caps the exponential restart backoff.
+const maxRestartBackoff = 2 * time.Second
 
 // SampleWorker abstracts the two worker implementations (RLgraph-style
 // batched vs RLlib-style incremental) so the executor runs either.
@@ -50,7 +58,23 @@ type ApexConfig struct {
 	SyncWeightsEvery int
 	// MinReplaySize gates learning until shards hold enough records.
 	MinReplaySize int
-	// Cluster tunes the actor engine's cost model.
+	// MaxWorkerRestarts caps supervised restarts per worker (default 3,
+	// negative = never restart).
+	MaxWorkerRestarts int
+	// MaxShardRestarts caps restarts per replay shard; a restarted shard
+	// loses its contents (default 1, negative = never restart).
+	MaxShardRestarts int
+	// MinHealthyWorkers fails the run when fewer workers survive
+	// (default 1).
+	MinHealthyWorkers int
+	// RestartBackoff is the initial supervised-restart delay; it doubles
+	// per retry up to a 2s cap (default 50ms).
+	RestartBackoff time.Duration
+	// CallTimeout bounds every executor-issued remote call (default 30s,
+	// negative = no deadline). A hung actor costs one timed-out call, not
+	// the run.
+	CallTimeout time.Duration
+	// Cluster tunes the actor engine's cost model and fault injection.
 	Cluster raysim.Config
 }
 
@@ -83,6 +107,30 @@ func (c *ApexConfig) withDefaults() ApexConfig {
 	if out.MinReplaySize == 0 {
 		out.MinReplaySize = out.BatchSize * 2
 	}
+	switch {
+	case out.MaxWorkerRestarts == 0:
+		out.MaxWorkerRestarts = 3
+	case out.MaxWorkerRestarts < 0:
+		out.MaxWorkerRestarts = 0
+	}
+	switch {
+	case out.MaxShardRestarts == 0:
+		out.MaxShardRestarts = 1
+	case out.MaxShardRestarts < 0:
+		out.MaxShardRestarts = 0
+	}
+	if out.MinHealthyWorkers == 0 {
+		out.MinHealthyWorkers = 1
+	}
+	if out.RestartBackoff == 0 {
+		out.RestartBackoff = 50 * time.Millisecond
+	}
+	switch {
+	case out.CallTimeout == 0:
+		out.CallTimeout = 30 * time.Second
+	case out.CallTimeout < 0:
+		out.CallTimeout = 0
+	}
 	return out
 }
 
@@ -106,6 +154,16 @@ type ApexResult struct {
 	Updates int
 	// ActorCalls counts remote calls issued on the engine.
 	ActorCalls int64
+	// Restarts counts supervised actor re-spawns (workers and shards).
+	Restarts int
+	// FailedCalls counts remote calls that returned errors (crashes,
+	// injected faults, dead mailboxes).
+	FailedCalls int64
+	// TimedOutCalls counts remote calls abandoned at their deadline.
+	TimedOutCalls int64
+	// Degraded is how long the run continued after permanently losing a
+	// worker (zero when every worker survived or recovered).
+	Degraded time.Duration
 	// Timeline holds reward-vs-time samples (learning-curve runs).
 	Timeline []RewardPoint
 	// SolvedAt is the first timeline point reaching the target (nil if
@@ -137,96 +195,276 @@ func newReplayShard(name string, capacity int, alpha, beta float64, stateSpace s
 	return &replayShard{ct: ct, mem: mem}, nil
 }
 
-// ApexExecutor coordinates workers, replay shards and the learner.
+func (sh *replayShard) behavior() raysim.Behavior {
+	return raysim.Behavior{
+		"insert": func(args []interface{}) (interface{}, error) {
+			b := args[0].(*execution.Batch)
+			if b.Len() == 0 {
+				return 0, nil
+			}
+			var err error
+			if b.Prio != nil {
+				_, err = sh.ct.Test("insert_with_priorities", b.S, b.A, b.R, b.NS, b.T, b.Prio)
+			} else {
+				_, err = sh.ct.Test("insert", b.S, b.A, b.R, b.NS, b.T)
+			}
+			if err != nil {
+				return nil, err
+			}
+			atomic.StoreInt64(&sh.size, int64(sh.mem.Size()))
+			return sh.mem.Size(), nil
+		},
+		"sample": func(args []interface{}) (interface{}, error) {
+			n := args[0].(int)
+			outs, err := sh.ct.Test("sample", tensor.Scalar(float64(n)))
+			if err != nil {
+				return nil, err
+			}
+			return outs, nil
+		},
+		"update_priorities": func(args []interface{}) (interface{}, error) {
+			_, err := sh.ct.Test("update", args[0].(*tensor.Tensor), args[1].(*tensor.Tensor))
+			return nil, err
+		},
+	}
+}
+
+func workerBehavior(w SampleWorker) raysim.Behavior {
+	return raysim.Behavior{
+		"sample": func(args []interface{}) (interface{}, error) {
+			return w.Sample(args[0].(int))
+		},
+		"set_weights": func(args []interface{}) (interface{}, error) {
+			return nil, w.SetWeights(args[0].(map[string]*tensor.Tensor))
+		},
+		"mean_reward": func(args []interface{}) (interface{}, error) {
+			m, ok := w.MeanReward(args[0].(int))
+			if !ok {
+				return nil, fmt.Errorf("no episodes finished")
+			}
+			return m, nil
+		},
+	}
+}
+
+// ApexExecutor coordinates workers, replay shards and the learner, and
+// supervises both actor pools.
 type ApexExecutor struct {
 	cfg     ApexConfig
 	cluster *raysim.Cluster
 	learner *agents.DQN
+	// learnerMu serializes learner weight reads (restart re-sync, weight
+	// broadcast) against updates.
+	learnerMu sync.Mutex
 
-	workers []*raysim.ActorRef
-	shards  []*raysim.ActorRef
-	shardSt []*replayShard
+	workerMu sync.RWMutex
+	workers  []*raysim.ActorRef
+
+	shardOpMu     sync.Mutex // serializes shard restart decisions
+	shardMu       sync.RWMutex
+	shards        []*raysim.ActorRef
+	shardSt       []*replayShard
+	shardDead     []bool
+	shardRestarts []int
 
 	frames  int64
 	updates int
+
+	restarts      int64
+	failedCalls   int64
+	timedOutCalls int64
+	healthy       int64
+	firstDeath    atomic.Int64 // unix nanos of first permanent worker loss
 }
 
 // NewApex wires the executor: workerFactory builds each worker's local
-// agent+envs (called once per worker), learner is the central learner agent
-// (already built), stateSpace shapes the replay shards.
+// agent+envs (called once per worker, and once per supervised restart),
+// learner is the central learner agent (already built), stateSpace shapes
+// the replay shards.
 func NewApex(cfg ApexConfig, learner *agents.DQN, stateSpace spaces.Space,
 	workerFactory func(i int) (SampleWorker, error)) (*ApexExecutor, error) {
 	cfg = cfg.withDefaults()
 	e := &ApexExecutor{cfg: cfg, cluster: raysim.NewCluster(cfg.Cluster), learner: learner}
 
 	for i := 0; i < cfg.NumReplayShards; i++ {
-		shard, err := newReplayShard(fmt.Sprintf("replay-%d", i), cfg.ReplayCapacity,
-			cfg.Alpha, cfg.Beta, stateSpace, int64(1000+i))
+		i := i
+		e.shardSt = append(e.shardSt, nil)
+		e.shardDead = append(e.shardDead, false)
+		e.shardRestarts = append(e.shardRestarts, 0)
+		factory := func() (raysim.Behavior, error) {
+			shard, err := newReplayShard(shardName(i), cfg.ReplayCapacity,
+				cfg.Alpha, cfg.Beta, stateSpace, int64(1000+i))
+			if err != nil {
+				return nil, err
+			}
+			e.shardMu.Lock()
+			e.shardSt[i] = shard
+			e.shardMu.Unlock()
+			return shard.behavior(), nil
+		}
+		a, err := e.cluster.NewRestartableActor(shardName(i), factory)
 		if err != nil {
 			return nil, err
 		}
-		e.shardSt = append(e.shardSt, shard)
-		sh := shard
-		e.shards = append(e.shards, e.cluster.NewActor(fmt.Sprintf("replay-%d", i), raysim.Behavior{
-			"insert": func(args []interface{}) (interface{}, error) {
-				b := args[0].(*execution.Batch)
-				if b.Len() == 0 {
-					return 0, nil
-				}
-				var err error
-				if b.Prio != nil {
-					_, err = sh.ct.Test("insert_with_priorities", b.S, b.A, b.R, b.NS, b.T, b.Prio)
-				} else {
-					_, err = sh.ct.Test("insert", b.S, b.A, b.R, b.NS, b.T)
-				}
-				if err != nil {
-					return nil, err
-				}
-				atomic.StoreInt64(&sh.size, int64(sh.mem.Size()))
-				return sh.mem.Size(), nil
-			},
-			"sample": func(args []interface{}) (interface{}, error) {
-				n := args[0].(int)
-				outs, err := sh.ct.Test("sample", tensor.Scalar(float64(n)))
-				if err != nil {
-					return nil, err
-				}
-				return outs, nil
-			},
-			"update_priorities": func(args []interface{}) (interface{}, error) {
-				_, err := sh.ct.Test("update", args[0].(*tensor.Tensor), args[1].(*tensor.Tensor))
-				return nil, err
-			},
-		}))
+		e.shards = append(e.shards, a)
 	}
 
 	for i := 0; i < cfg.NumWorkers; i++ {
-		w, err := workerFactory(i)
+		i := i
+		factory := func() (raysim.Behavior, error) {
+			w, err := workerFactory(i)
+			if err != nil {
+				return nil, err
+			}
+			return workerBehavior(w), nil
+		}
+		a, err := e.cluster.NewRestartableActor(workerName(i), factory)
 		if err != nil {
 			return nil, err
 		}
-		ww := w
-		e.workers = append(e.workers, e.cluster.NewActor(fmt.Sprintf("worker-%d", i), raysim.Behavior{
-			"sample": func(args []interface{}) (interface{}, error) {
-				return ww.Sample(args[0].(int))
-			},
-			"set_weights": func(args []interface{}) (interface{}, error) {
-				return nil, ww.SetWeights(args[0].(map[string]*tensor.Tensor))
-			},
-			"mean_reward": func(args []interface{}) (interface{}, error) {
-				m, ok := ww.MeanReward(args[0].(int))
-				if !ok {
-					return nil, fmt.Errorf("no episodes finished")
-				}
-				return m, nil
-			},
-		}))
+		e.workers = append(e.workers, a)
 	}
 	return e, nil
 }
 
+func shardName(i int) string  { return fmt.Sprintf("replay-%d", i) }
+func workerName(i int) string { return fmt.Sprintf("worker-%d", i) }
+
 // Cluster exposes the actor engine (for call counts in benches).
 func (e *ApexExecutor) Cluster() *raysim.Cluster { return e.cluster }
+
+// get resolves a future under the executor's call deadline.
+func (e *ApexExecutor) get(f *raysim.Future) (interface{}, error) {
+	return f.GetTimeout(e.cfg.CallTimeout)
+}
+
+// noteFailure classifies a failed remote call into the run metrics.
+func (e *ApexExecutor) noteFailure(err error) {
+	if raysim.IsTimeout(err) {
+		atomic.AddInt64(&e.timedOutCalls, 1)
+	} else {
+		atomic.AddInt64(&e.failedCalls, 1)
+	}
+}
+
+// liveShard returns the first non-dead shard at or after rotation index
+// start, or ok=false when every shard is gone.
+func (e *ApexExecutor) liveShard(start int) (ref *raysim.ActorRef, st *replayShard, idx int, ok bool) {
+	e.shardMu.RLock()
+	defer e.shardMu.RUnlock()
+	n := len(e.shards)
+	for k := 0; k < n; k++ {
+		i := ((start+k)%n + n) % n
+		if !e.shardDead[i] {
+			return e.shards[i], e.shardSt[i], i, true
+		}
+	}
+	return nil, nil, 0, false
+}
+
+// restartShard replaces a failed shard actor (losing its contents) within
+// the restart budget; past the budget the shard is marked dead and dropped
+// from rotation. Returns false when the shard is dead.
+func (e *ApexExecutor) restartShard(i int, old *raysim.ActorRef) bool {
+	e.shardOpMu.Lock()
+	defer e.shardOpMu.Unlock()
+	e.shardMu.RLock()
+	cur, dead, used := e.shards[i], e.shardDead[i], e.shardRestarts[i]
+	e.shardMu.RUnlock()
+	if dead {
+		return false
+	}
+	if cur != old {
+		return true // a concurrent restart already replaced it
+	}
+	if used >= e.cfg.MaxShardRestarts {
+		e.shardMu.Lock()
+		e.shardDead[i] = true
+		e.shardMu.Unlock()
+		return false
+	}
+	nw, err := e.cluster.Restart(shardName(i))
+	if err != nil {
+		atomic.AddInt64(&e.failedCalls, 1)
+		e.shardMu.Lock()
+		e.shardDead[i] = true
+		e.shardMu.Unlock()
+		return false
+	}
+	e.shardMu.Lock()
+	e.shards[i] = nw
+	e.shardRestarts[i]++
+	e.shardMu.Unlock()
+	atomic.AddInt64(&e.restarts, 1)
+	return true
+}
+
+// superviseWorker restarts a failed worker actor with capped exponential
+// backoff, re-syncing learner weights into the fresh incarnation. Returns
+// nil when the restart budget is exhausted (or the run is stopping).
+func (e *ApexExecutor) superviseWorker(wi int, restarts *int, backoff *time.Duration, stop chan struct{}) *raysim.ActorRef {
+	for *restarts < e.cfg.MaxWorkerRestarts {
+		*restarts++
+		select {
+		case <-stop:
+			return nil
+		case <-time.After(*backoff):
+		}
+		if *backoff *= 2; *backoff > maxRestartBackoff {
+			*backoff = maxRestartBackoff
+		}
+		nw, err := e.cluster.Restart(workerName(wi))
+		if err != nil {
+			atomic.AddInt64(&e.failedCalls, 1)
+			continue
+		}
+		atomic.AddInt64(&e.restarts, 1)
+		e.workerMu.Lock()
+		e.workers[wi] = nw
+		e.workerMu.Unlock()
+		e.learnerMu.Lock()
+		weights := e.learner.GetWeights()
+		e.learnerMu.Unlock()
+		if _, err := e.get(nw.Call("set_weights", weights)); err != nil {
+			e.noteFailure(err)
+			continue
+		}
+		return nw
+	}
+	return nil
+}
+
+// workerLost records a permanent worker loss and fails the run when the
+// healthy pool shrinks below the configured minimum.
+func (e *ApexExecutor) workerLost(wi, restarts int, cause error, recordErr func(error)) {
+	h := atomic.AddInt64(&e.healthy, -1)
+	e.firstDeath.CompareAndSwap(0, time.Now().UnixNano())
+	if int(h) < e.cfg.MinHealthyWorkers {
+		recordErr(fmt.Errorf("distexec: worker %d lost after %d restarts, %d healthy < min %d: %w",
+			wi, restarts, h, e.cfg.MinHealthyWorkers, cause))
+	}
+}
+
+// harvest reaps resolved fire-and-forget futures (priority updates, weight
+// broadcasts), counting failures, and returns the still-pending tail.
+func (e *ApexExecutor) harvest(pending []*raysim.Future) []*raysim.Future {
+	out := pending[:0]
+	for _, f := range pending {
+		if _, err, done := f.TryGet(); done {
+			if err != nil {
+				e.noteFailure(err)
+			}
+		} else {
+			out = append(out, f)
+		}
+	}
+	// Futures stuck on a hung actor resolve only via deadlines we never
+	// poll; bound the tail so they cannot accumulate.
+	if len(out) > 4096 {
+		out = out[len(out)-4096:]
+	}
+	return out
+}
 
 // RunOptions controls a run's stopping condition and measurement cadence.
 type RunOptions struct {
@@ -243,7 +481,9 @@ type RunOptions struct {
 }
 
 // Run drives the Ape-X loop until the stopping condition and reports
-// aggregate metrics.
+// aggregate metrics. Worker crashes, hangs and injected faults are handled
+// by the supervisor; the run fails only when fewer than MinHealthyWorkers
+// survive, the learner itself errors, or every replay shard dies.
 func (e *ApexExecutor) Run(opt RunOptions) (*ApexResult, error) {
 	start := time.Now()
 	deadline := start.Add(opt.Duration)
@@ -262,34 +502,58 @@ func (e *ApexExecutor) Run(opt RunOptions) (*ApexResult, error) {
 		halt()
 	}
 
-	// Sample feeders: one pipeline per worker actor, inserting into shards
-	// round-robin.
+	atomic.StoreInt64(&e.healthy, int64(e.cfg.NumWorkers))
+
+	// Sample feeders: one supervised pipeline per worker actor, inserting
+	// into live shards round-robin.
 	var wg sync.WaitGroup
-	for wi, w := range e.workers {
+	for wi := range e.workers {
 		wg.Add(1)
-		go func(wi int, w *raysim.ActorRef) {
+		go func(wi int) {
 			defer wg.Done()
-			shard := 0
+			e.workerMu.RLock()
+			w := e.workers[wi]
+			e.workerMu.RUnlock()
+			restarts := 0
+			backoff := e.cfg.RestartBackoff
+			shard := wi
 			for {
-				select {
-				case <-stop:
+				if stopped(stop) {
 					return
-				default:
 				}
-				v, err := w.Call("sample", e.cfg.TaskSize).Get()
+				v, err := e.get(w.Call("sample", e.cfg.TaskSize))
 				if err != nil {
-					recordErr(err)
-					return
+					if stopped(stop) {
+						return
+					}
+					e.noteFailure(err)
+					nw := e.superviseWorker(wi, &restarts, &backoff, stop)
+					if nw == nil {
+						if !stopped(stop) {
+							e.workerLost(wi, restarts, err, recordErr)
+						}
+						return
+					}
+					w = nw
+					continue
 				}
 				b := v.(*execution.Batch)
 				atomic.AddInt64(&e.frames, int64(b.Frames))
-				if _, err := e.shards[shard%len(e.shards)].Call("insert", b).Get(); err != nil {
-					recordErr(err)
+				ref, _, idx, ok := e.liveShard(shard)
+				if !ok {
+					recordErr(errors.New("distexec: all replay shards dead"))
 					return
+				}
+				if _, err := e.get(ref.Call("insert", b)); err != nil {
+					if stopped(stop) {
+						return
+					}
+					e.noteFailure(err)
+					e.restartShard(idx, ref) // batch is dropped
 				}
 				shard++
 			}
-		}(wi, w)
+		}(wi)
 	}
 
 	// Timeline sampler.
@@ -307,9 +571,12 @@ func (e *ApexExecutor) Run(opt RunOptions) (*ApexResult, error) {
 				case <-stop:
 					return
 				case <-tick.C:
+					e.workerMu.RLock()
+					workers := append([]*raysim.ActorRef(nil), e.workers...)
+					e.workerMu.RUnlock()
 					sum, n := 0.0, 0
-					for _, w := range e.workers {
-						if v, err := w.Call("mean_reward", 20).Get(); err == nil {
+					for _, w := range workers {
+						if v, err := e.get(w.Call("mean_reward", 20)); err == nil {
 							sum += v.(float64)
 							n++
 						}
@@ -333,47 +600,59 @@ func (e *ApexExecutor) Run(opt RunOptions) (*ApexResult, error) {
 		}()
 	}
 
-	// Learner loop (this goroutine): pull batches shard-round-robin,
-	// update, push priorities, broadcast weights.
+	// Learner loop (this goroutine): pull batches from live shards
+	// round-robin under a call deadline, update, push priorities, broadcast
+	// weights. Priority pushes and weight broadcasts stay asynchronous;
+	// their outcomes are harvested on later iterations.
 	shard := 0
+	var pending []*raysim.Future
 	for time.Now().Before(deadline) {
-		select {
-		case <-stop:
-		default:
-		}
 		if stopped(stop) {
 			break
 		}
+		pending = e.harvest(pending)
 		if opt.DisableUpdates {
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		sh := e.shardSt[shard%len(e.shardSt)]
+		ref, sh, idx, ok := e.liveShard(shard)
+		if !ok {
+			recordErr(errors.New("distexec: all replay shards dead"))
+			break
+		}
 		if int(atomic.LoadInt64(&sh.size)) < e.cfg.MinReplaySize {
 			shard++
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		v, err := e.shards[shard%len(e.shards)].Call("sample", e.cfg.BatchSize).Get()
+		v, err := e.get(ref.Call("sample", e.cfg.BatchSize))
 		if err != nil {
-			recordErr(err)
-			break
+			e.noteFailure(err)
+			e.restartShard(idx, ref)
+			shard++
+			continue
 		}
 		outs := v.([]*tensor.Tensor)
-		s, a, r, ns, t, idx, w := outs[0], outs[1], outs[2], outs[3], outs[4], outs[5], outs[6]
+		s, a, r, ns, t, ridx, w := outs[0], outs[1], outs[2], outs[3], outs[4], outs[5], outs[6]
+		e.learnerMu.Lock()
 		_, td, err := e.learner.UpdateExternal(s, a, r, ns, t, w)
+		e.learnerMu.Unlock()
 		if err != nil {
 			recordErr(err)
 			break
 		}
-		e.shards[shard%len(e.shards)].Call("update_priorities", idx, td)
+		pending = append(pending, ref.Call("update_priorities", ridx, td))
 		e.updates++
 		shard++
 		if e.updates%e.cfg.SyncWeightsEvery == 0 {
+			e.learnerMu.Lock()
 			weights := e.learner.GetWeights()
+			e.learnerMu.Unlock()
+			e.workerMu.RLock()
 			for _, wk := range e.workers {
-				wk.Call("set_weights", weights)
+				pending = append(pending, wk.Call("set_weights", weights))
 			}
+			e.workerMu.RUnlock()
 		}
 	}
 	halt()
@@ -381,16 +660,27 @@ func (e *ApexExecutor) Run(opt RunOptions) (*ApexResult, error) {
 	e.cluster.StopAll()
 
 	elapsed := time.Since(start)
-	res := &ApexResult{
-		Frames:     atomic.LoadInt64(&e.frames),
-		Elapsed:    elapsed,
-		FPS:        float64(atomic.LoadInt64(&e.frames)) / elapsed.Seconds(),
-		Updates:    e.updates,
-		ActorCalls: atomic.LoadInt64(&e.cluster.Calls),
-		Timeline:   timeline,
-		SolvedAt:   solved,
+	var degraded time.Duration
+	if fd := e.firstDeath.Load(); fd != 0 {
+		degraded = time.Duration(time.Now().UnixNano() - fd)
 	}
-	return res, firstErr
+	res := &ApexResult{
+		Frames:        atomic.LoadInt64(&e.frames),
+		Elapsed:       elapsed,
+		FPS:           float64(atomic.LoadInt64(&e.frames)) / elapsed.Seconds(),
+		Updates:       e.updates,
+		ActorCalls:    atomic.LoadInt64(&e.cluster.Calls),
+		Restarts:      int(atomic.LoadInt64(&e.restarts)),
+		FailedCalls:   atomic.LoadInt64(&e.failedCalls),
+		TimedOutCalls: atomic.LoadInt64(&e.timedOutCalls),
+		Degraded:      degraded,
+		Timeline:      timeline,
+		SolvedAt:      solved,
+	}
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return res, err
 }
 
 func stopped(stop chan struct{}) bool {

@@ -1,6 +1,7 @@
 package distexec
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,15 @@ type IMPALAConfig struct {
 	SyncWeightsEvery int
 	// FramesPerStep is the env frame multiplier for accounting.
 	FramesPerStep int
+	// MaxActorRestarts caps supervised restarts per rollout actor
+	// (default 2, negative = never restart). A restarted actor is rebuilt
+	// from the actor factory and re-synced with learner weights.
+	MaxActorRestarts int
+	// MinHealthyActors fails the run when fewer actors survive (default 1).
+	MinHealthyActors int
+	// RestartBackoff is the initial supervised-restart delay; it doubles
+	// per retry up to a 2s cap (default 50ms).
+	RestartBackoff time.Duration
 	// BaselineOverheads enables the DeepMind-reference inefficiencies
 	// (redundant actor variable assignments, unstage preprocessing copies)
 	// the paper identified; see internal/baselines/dmimpala.
@@ -48,6 +58,18 @@ func (c *IMPALAConfig) withDefaults() IMPALAConfig {
 	if out.FramesPerStep == 0 {
 		out.FramesPerStep = 1
 	}
+	switch {
+	case out.MaxActorRestarts == 0:
+		out.MaxActorRestarts = 2
+	case out.MaxActorRestarts < 0:
+		out.MaxActorRestarts = 0
+	}
+	if out.MinHealthyActors == 0 {
+		out.MinHealthyActors = 1
+	}
+	if out.RestartBackoff == 0 {
+		out.RestartBackoff = 50 * time.Millisecond
+	}
 	return out
 }
 
@@ -69,18 +91,27 @@ type IMPALAResult struct {
 	FPS      float64
 	Updates  int
 	Rollouts int64
+	// Restarts counts supervised rollout-actor re-spawns.
+	Restarts int
+	// Degraded is how long the run continued after permanently losing an
+	// actor (zero when every actor survived or recovered).
+	Degraded time.Duration
 }
 
 // IMPALAExecutor runs the queue-fed actor-learner architecture: actors step
 // their own environment copies with (periodically refreshed) policy weights,
 // push fixed-length rollouts into the globally shared blocking queue, and
 // the learner dequeues through a staging area and applies V-trace updates —
-// the structure of the paper's Fig. 9 workload.
+// the structure of the paper's Fig. 9 workload. Rollout actors are
+// supervised: a crash (error or panic) rebuilds the actor from its factory
+// with capped exponential backoff, and the run degrades gracefully until
+// fewer than MinHealthyActors remain.
 type IMPALAExecutor struct {
 	cfg     IMPALAConfig
 	learner *agents.IMPALA
 	actors  []*agents.IMPALA
 	envsL   []envs.Env
+	factory func(i int) (*agents.IMPALA, envs.Env, error)
 
 	queue   *misc.FIFOQueue
 	queueCT *exec.ComponentTest
@@ -91,17 +122,22 @@ type IMPALAExecutor struct {
 	rollouts int64
 	updates  int
 
+	restarts   int64
+	healthy    int64
+	firstDeath atomic.Int64 // unix nanos of first permanent actor loss
+
 	// learnerMu serializes learner weight reads (actors) against updates
 	// (learner loop) — the parameter-server consistency point.
 	learnerMu sync.Mutex
 }
 
 // NewIMPALAExec wires the executor. learner must be built; actorFactory
-// returns a built actor agent plus its environment.
+// returns a built actor agent plus its environment and is re-invoked on
+// supervised restarts.
 func NewIMPALAExec(cfg IMPALAConfig, learner *agents.IMPALA, stateSpace spaces.Space,
 	actorFactory func(i int) (*agents.IMPALA, envs.Env, error)) (*IMPALAExecutor, error) {
 	cfg = cfg.withDefaults()
-	e := &IMPALAExecutor{cfg: cfg, learner: learner}
+	e := &IMPALAExecutor{cfg: cfg, learner: learner, factory: actorFactory}
 
 	for i := 0; i < cfg.NumActors; i++ {
 		a, env, err := actorFactory(i)
@@ -179,7 +215,97 @@ func (e *IMPALAExecutor) collectRollout(a *agents.IMPALA, env envs.Env, state *t
 	return ro, cur, nil
 }
 
+// impalaActorState is one rollout actor's mutable loop state; restarts swap
+// the agent and environment in place.
+type impalaActorState struct {
+	a     *agents.IMPALA
+	env   envs.Env
+	state *tensor.Tensor
+	n     int
+}
+
+// actorIter performs one sync+collect+enqueue iteration, recovering panics
+// in agent or environment code into errors so the supervisor can restart
+// the actor instead of the process dying.
+func (e *IMPALAExecutor) actorIter(st *impalaActorState) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("distexec: impala actor panicked: %v", r)
+		}
+	}()
+	// Refresh policy weights from the learner.
+	if st.n%e.cfg.SyncWeightsEvery == 0 {
+		e.learnerMu.Lock()
+		w := e.learner.GetWeights()
+		e.learnerMu.Unlock()
+		if err := st.a.SetWeights(w); err != nil {
+			return err
+		}
+		if e.cfg.BaselineOverheads {
+			// DM reference: redundant variable assignments in the actor
+			// (paper §5.1) — weight tensors are re-assigned although nothing
+			// changed. The reference executed these inside each actor step;
+			// we charge the equivalent total per rollout.
+			for k := 0; k < 2; k++ {
+				if err := st.a.SetWeights(st.a.GetWeights()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	ro, next, err := e.collectRollout(st.a, st.env, st.state)
+	if err != nil {
+		return err
+	}
+	st.state = next
+	if _, err := e.queueCT.Test("enqueue",
+		ro.States, ro.Actions, ro.Rewards, ro.Discounts,
+		ro.BehaviorLogp, ro.Bootstrap); err != nil {
+		return err
+	}
+	atomic.AddInt64(&e.frames, int64(ro.Frames))
+	atomic.AddInt64(&e.rollouts, 1)
+	st.n++
+	return nil
+}
+
+// superviseActor rebuilds a crashed rollout actor from the factory with
+// capped exponential backoff and re-syncs learner weights. Returns false
+// when the restart budget is exhausted or the run is stopping.
+func (e *IMPALAExecutor) superviseActor(i int, st *impalaActorState, restarts *int,
+	backoff *time.Duration, stop chan struct{}) bool {
+	for *restarts < e.cfg.MaxActorRestarts {
+		*restarts++
+		select {
+		case <-stop:
+			return false
+		case <-time.After(*backoff):
+		}
+		if *backoff *= 2; *backoff > maxRestartBackoff {
+			*backoff = maxRestartBackoff
+		}
+		na, nenv, err := e.factory(i)
+		if err != nil {
+			continue
+		}
+		e.learnerMu.Lock()
+		w := e.learner.GetWeights()
+		e.learnerMu.Unlock()
+		if err := na.SetWeights(w); err != nil {
+			continue
+		}
+		atomic.AddInt64(&e.restarts, 1)
+		st.a, st.env = na, nenv
+		st.state = st.env.Reset()
+		st.n = 1 // weights just synced; skip the immediate re-sync
+		return true
+	}
+	return false
+}
+
 // Run drives actors and learner until the wall-clock duration elapses.
+// Actor crashes are absorbed by the supervisor; the run fails only when the
+// learner errors or fewer than MinHealthyActors survive.
 func (e *IMPALAExecutor) Run(duration time.Duration) (*IMPALAResult, error) {
 	start := time.Now()
 	stop := make(chan struct{})
@@ -195,63 +321,47 @@ func (e *IMPALAExecutor) Run(duration time.Duration) (*IMPALAResult, error) {
 		}
 		errMu.Unlock()
 		halt()
+		// Unblock a learner parked in dequeue on an empty queue — without
+		// this, losing every actor would deadlock the run.
+		e.queue.Close()
 	}
 
+	atomic.StoreInt64(&e.healthy, int64(e.cfg.NumActors))
+
 	var wg sync.WaitGroup
-	for i, a := range e.actors {
+	for i := range e.actors {
 		wg.Add(1)
-		go func(i int, a *agents.IMPALA) {
+		go func(i int) {
 			defer wg.Done()
-			env := e.envsL[i]
-			state := env.Reset()
-			n := 0
+			st := &impalaActorState{a: e.actors[i], env: e.envsL[i]}
+			st.state = st.env.Reset()
+			restarts := 0
+			backoff := e.cfg.RestartBackoff
 			for {
 				if stopped(stop) {
 					return
 				}
-				// Refresh policy weights from the learner.
-				if n%e.cfg.SyncWeightsEvery == 0 {
-					e.learnerMu.Lock()
-					w := e.learner.GetWeights()
-					e.learnerMu.Unlock()
-					if err := a.SetWeights(w); err != nil {
-						recordErr(err)
-						return
-					}
-					if e.cfg.BaselineOverheads {
-						// DM reference: redundant variable assignments in
-						// the actor (paper §5.1) — weight tensors are
-						// re-assigned although nothing changed. The
-						// reference executed these inside each actor step;
-						// we charge the equivalent total per rollout.
-						for k := 0; k < 2; k++ {
-							if err := a.SetWeights(a.GetWeights()); err != nil {
-								recordErr(err)
-								return
-							}
-						}
-					}
+				err := e.actorIter(st)
+				if err == nil {
+					continue
 				}
-				ro, next, err := e.collectRollout(a, env, state)
-				if err != nil {
-					recordErr(err)
-					return
+				if stopped(stop) {
+					return // shutdown-induced (queue closed under us)
 				}
-				state = next
-				if _, err := e.queueCT.Test("enqueue",
-					ro.States, ro.Actions, ro.Rewards, ro.Discounts,
-					ro.BehaviorLogp, ro.Bootstrap); err != nil {
+				if !e.superviseActor(i, st, &restarts, &backoff, stop) {
 					if stopped(stop) {
 						return
 					}
-					recordErr(err)
+					h := atomic.AddInt64(&e.healthy, -1)
+					e.firstDeath.CompareAndSwap(0, time.Now().UnixNano())
+					if int(h) < e.cfg.MinHealthyActors {
+						recordErr(fmt.Errorf("distexec: impala actor %d lost after %d restarts, %d healthy < min %d: %w",
+							i, restarts, h, e.cfg.MinHealthyActors, err))
+					}
 					return
 				}
-				atomic.AddInt64(&e.frames, int64(ro.Frames))
-				atomic.AddInt64(&e.rollouts, 1)
-				n++
 			}
-		}(i, a)
+		}(i)
 	}
 
 	// Learner: dequeue → stage → update. The staging area gives the
@@ -260,6 +370,9 @@ func (e *IMPALAExecutor) Run(duration time.Duration) (*IMPALAResult, error) {
 	for time.Now().Before(deadline) && !stopped(stop) {
 		outs, err := e.queueCT.Test("dequeue")
 		if err != nil {
+			if !stopped(stop) {
+				recordErr(err)
+			}
 			break
 		}
 		if e.cfg.BaselineOverheads {
@@ -297,11 +410,20 @@ func (e *IMPALAExecutor) Run(duration time.Duration) (*IMPALAResult, error) {
 	wg.Wait()
 
 	elapsed := time.Since(start)
+	var degraded time.Duration
+	if fd := e.firstDeath.Load(); fd != 0 {
+		degraded = time.Duration(time.Now().UnixNano() - fd)
+	}
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
 	return &IMPALAResult{
 		Frames:   atomic.LoadInt64(&e.frames),
 		Elapsed:  elapsed,
 		FPS:      float64(atomic.LoadInt64(&e.frames)) / elapsed.Seconds(),
 		Updates:  e.updates,
 		Rollouts: atomic.LoadInt64(&e.rollouts),
-	}, firstErr
+		Restarts: int(atomic.LoadInt64(&e.restarts)),
+		Degraded: degraded,
+	}, err
 }

@@ -1,6 +1,7 @@
 package distexec
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,13 @@ type PSTrainerConfig struct {
 	// PullEvery refreshes a worker's local weights from the PS every N
 	// local updates.
 	PullEvery int
+	// MaxStepRetries is how many consecutive step failures a worker
+	// absorbs — re-pulling PS weights and backing off — before it exits
+	// (default 2, negative = fail fast).
+	MaxStepRetries int
+	// RetryBackoff is the initial recovery delay; it doubles per
+	// consecutive failure up to a 2s cap (default 20ms).
+	RetryBackoff time.Duration
 }
 
 // PSTrainerResult aggregates a run's metrics.
@@ -29,17 +37,35 @@ type PSTrainerResult struct {
 	Pushes, Pulls int64
 	// MaxStaleness is the largest version lag observed at pull time.
 	MaxStaleness int64
-	Elapsed      time.Duration
+	// Recoveries counts step failures absorbed by re-syncing from the PS.
+	Recoveries int64
+	// LostWorkers counts workers that exited after exhausting retries.
+	LostWorkers int64
+	Elapsed     time.Duration
 }
 
 // PSWorkerFn performs one local learning step on the worker's agent and
 // returns the weight delta to publish (nil to publish nothing this step).
 type PSWorkerFn func(worker *agents.DQN) (map[string]*tensor.Tensor, error)
 
+// safePSStep runs one worker step, recovering panics into errors so a
+// faulty step function cannot kill the trainer process.
+func safePSStep(step PSWorkerFn, w *agents.DQN) (delta map[string]*tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("distexec: ps worker step panicked: %v", r)
+		}
+	}()
+	return step(w)
+}
+
 // RunPSTraining drives async parameter-server training: every worker loops
 // {pull-if-stale, local step, push delta} against the shared server until
 // the duration elapses. Workers never coordinate with each other — only
 // through the PS, exactly like distributed-TF between-graph replication.
+// A failing (or panicking) step is retried after re-pulling authoritative
+// weights from the PS; a worker that keeps failing exits and the remaining
+// workers continue, surfacing the error alongside partial results.
 func RunPSTraining(cfg PSTrainerConfig, ps *ParameterServer,
 	workers []*agents.DQN, step PSWorkerFn, duration time.Duration) (*PSTrainerResult, error) {
 	if cfg.NumWorkers == 0 {
@@ -48,10 +74,27 @@ func RunPSTraining(cfg PSTrainerConfig, ps *ParameterServer,
 	if cfg.PullEvery == 0 {
 		cfg.PullEvery = 4
 	}
+	switch {
+	case cfg.MaxStepRetries == 0:
+		cfg.MaxStepRetries = 2
+	case cfg.MaxStepRetries < 0:
+		cfg.MaxStepRetries = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 20 * time.Millisecond
+	}
 	var updates int64
 	var maxStale int64
+	var recoveries, lost int64
 	var firstErr error
 	var errMu sync.Mutex
+	recordErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	deadline := time.Now().Add(duration)
 
 	var wg sync.WaitGroup
@@ -60,40 +103,60 @@ func RunPSTraining(cfg PSTrainerConfig, ps *ParameterServer,
 		go func(w *agents.DQN) {
 			defer wg.Done()
 			local := 0
+			failures := 0
+			backoff := cfg.RetryBackoff
+			pull := func() error {
+				weights, version := ps.Pull()
+				if s := ps.Staleness(version); s > atomic.LoadInt64(&maxStale) {
+					atomic.StoreInt64(&maxStale, s)
+				}
+				return w.SetWeights(weights)
+			}
+			absorb := func(err error) bool {
+				failures++
+				if failures > cfg.MaxStepRetries {
+					atomic.AddInt64(&lost, 1)
+					recordErr(err)
+					return false
+				}
+				atomic.AddInt64(&recoveries, 1)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > maxRestartBackoff {
+					backoff = maxRestartBackoff
+				}
+				// Re-sync from the authoritative server before retrying.
+				if perr := pull(); perr != nil {
+					recordErr(perr)
+					return false
+				}
+				return true
+			}
 			for time.Now().Before(deadline) {
 				if local%cfg.PullEvery == 0 {
-					weights, version := ps.Pull()
-					if s := ps.Staleness(version); s > atomic.LoadInt64(&maxStale) {
-						atomic.StoreInt64(&maxStale, s)
-					}
-					if err := w.SetWeights(weights); err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
+					if err := pull(); err != nil {
+						if !absorb(err) {
+							return
 						}
-						errMu.Unlock()
-						return
+						continue
 					}
 				}
-				delta, err := step(w)
+				delta, err := safePSStep(step, w)
 				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					if !absorb(err) {
+						return
 					}
-					errMu.Unlock()
-					return
+					continue
 				}
 				if delta != nil {
 					if _, err := ps.ApplyDelta(delta, 1); err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
+						if !absorb(err) {
+							return
 						}
-						errMu.Unlock()
-						return
+						continue
 					}
 				}
+				failures = 0
+				backoff = cfg.RetryBackoff
 				atomic.AddInt64(&updates, 1)
 				local++
 			}
@@ -101,13 +164,18 @@ func RunPSTraining(cfg PSTrainerConfig, ps *ParameterServer,
 	}
 	start := time.Now()
 	wg.Wait()
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
 	return &PSTrainerResult{
 		Updates:      atomic.LoadInt64(&updates),
 		Pushes:       ps.PushCount(),
 		Pulls:        ps.PullCount(),
 		MaxStaleness: atomic.LoadInt64(&maxStale),
+		Recoveries:   atomic.LoadInt64(&recoveries),
+		LostWorkers:  atomic.LoadInt64(&lost),
 		Elapsed:      time.Since(start),
-	}, firstErr
+	}, err
 }
 
 // WeightDelta computes after-before per-variable differences (the delta a

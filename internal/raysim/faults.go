@@ -1,0 +1,104 @@
+package raysim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultPlan injects deterministic failures into named actors so chaos
+// scenarios are reproducible in tests and benchmarks. Determinism comes from
+// two properties: each actor derives its own RNG from Seed and its name (so
+// goroutine scheduling across actors cannot reorder draws), and fault state
+// is keyed by actor name on the cluster, surviving restarts (so a
+// crash-on-nth-call fires once per run, not once per incarnation).
+type FaultPlan struct {
+	// Seed drives the per-actor RNGs for probabilistic faults.
+	Seed int64
+	// Actors maps exact actor names to their fault profile.
+	Actors map[string]ActorFaults
+}
+
+// ActorFaults is the fault profile of one actor.
+type ActorFaults struct {
+	// CrashOnCall crashes the actor while processing its Nth call (1-based,
+	// counted across restarts; 0 = never). The call and everything queued
+	// behind it fail with ErrCrashed.
+	CrashOnCall int
+	// ErrorProb fails each call with an ErrInjected-wrapped error at this
+	// probability (the method is not executed).
+	ErrorProb float64
+	// ExtraLatency is added to every call's processing delay — a slow or
+	// hung link (pair with caller deadlines to test timeout paths).
+	ExtraLatency time.Duration
+	// LatencyJitter adds a uniform random delay in [0, LatencyJitter).
+	LatencyJitter time.Duration
+}
+
+// injectedFault is the decision for one call.
+type injectedFault struct {
+	callIndex    int
+	crash        bool
+	err          error
+	extraLatency time.Duration
+}
+
+// faultState is the per-actor-name fault engine; it lives on the Cluster so
+// counters and RNG draws persist across actor restarts.
+type faultState struct {
+	mu    sync.Mutex
+	name  string
+	cfg   ActorFaults
+	rng   *rand.Rand
+	calls int
+}
+
+// faultStateFor returns the persistent fault state for an actor name, or nil
+// when the plan has no entry for it.
+func (c *Cluster) faultStateFor(name string) *faultState {
+	plan := c.cfg.Faults
+	if plan == nil {
+		return nil
+	}
+	af, ok := plan.Actors[name]
+	if !ok {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.faults[name]; ok {
+		return st
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	st := &faultState{
+		name: name,
+		cfg:  af,
+		rng:  rand.New(rand.NewSource(plan.Seed ^ int64(h.Sum64()))),
+	}
+	c.faults[name] = st
+	return st
+}
+
+// next advances the per-actor call counter and decides this call's fate.
+func (s *faultState) next() injectedFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	out := injectedFault{callIndex: s.calls}
+	if s.cfg.CrashOnCall > 0 && s.calls == s.cfg.CrashOnCall {
+		out.crash = true
+		return out
+	}
+	if s.cfg.ErrorProb > 0 && s.rng.Float64() < s.cfg.ErrorProb {
+		out.err = fmt.Errorf("raysim: actor %q: injected error on call %d: %w",
+			s.name, s.calls, ErrInjected)
+	}
+	out.extraLatency = s.cfg.ExtraLatency
+	if s.cfg.LatencyJitter > 0 {
+		out.extraLatency += time.Duration(s.rng.Int63n(int64(s.cfg.LatencyJitter)))
+	}
+	return out
+}

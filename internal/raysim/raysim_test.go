@@ -1,6 +1,8 @@
 package raysim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -9,9 +11,18 @@ import (
 	"rlgraph/internal/tensor"
 )
 
+func mustActor(t *testing.T, c *Cluster, name string, b Behavior) *ActorRef {
+	t.Helper()
+	a, err := c.NewActor(name, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
 func TestActorCallReturnsResult(t *testing.T) {
 	c := NewCluster(Config{})
-	a := c.NewActor("adder", Behavior{
+	a := mustActor(t, c, "adder", Behavior{
 		"add": func(args []interface{}) (interface{}, error) {
 			return args[0].(int) + args[1].(int), nil
 		},
@@ -25,7 +36,7 @@ func TestActorCallReturnsResult(t *testing.T) {
 
 func TestUnknownMethodErrors(t *testing.T) {
 	c := NewCluster(Config{})
-	a := c.NewActor("x", Behavior{})
+	a := mustActor(t, c, "x", Behavior{})
 	defer c.StopAll()
 	if _, err := a.Call("nope").Get(); err == nil {
 		t.Fatal("expected error")
@@ -35,7 +46,7 @@ func TestUnknownMethodErrors(t *testing.T) {
 func TestActorSerializesCalls(t *testing.T) {
 	c := NewCluster(Config{})
 	n := 0
-	a := c.NewActor("counter", Behavior{
+	a := mustActor(t, c, "counter", Behavior{
 		"inc": func([]interface{}) (interface{}, error) {
 			n++ // safe only if calls are serialized
 			return n, nil
@@ -64,7 +75,7 @@ func TestActorSerializesCalls(t *testing.T) {
 
 func TestFutureGetIsIdempotent(t *testing.T) {
 	c := NewCluster(Config{})
-	a := c.NewActor("one", Behavior{
+	a := mustActor(t, c, "one", Behavior{
 		"f": func([]interface{}) (interface{}, error) { return 1, nil },
 	})
 	defer c.StopAll()
@@ -78,7 +89,7 @@ func TestFutureGetIsIdempotent(t *testing.T) {
 
 func TestLatencyModelDelaysDelivery(t *testing.T) {
 	c := NewCluster(Config{PerCallLatency: 20 * time.Millisecond})
-	a := c.NewActor("slow", Behavior{
+	a := mustActor(t, c, "slow", Behavior{
 		"f": func([]interface{}) (interface{}, error) { return nil, nil },
 	})
 	defer c.StopAll()
@@ -93,7 +104,7 @@ func TestLatencyModelDelaysDelivery(t *testing.T) {
 
 func TestBandwidthChargesTensorBytes(t *testing.T) {
 	c := NewCluster(Config{BytesPerSecond: 1e6}) // 1 MB/s
-	a := c.NewActor("bw", Behavior{
+	a := mustActor(t, c, "bw", Behavior{
 		"f": func([]interface{}) (interface{}, error) { return nil, nil },
 	})
 	defer c.StopAll()
@@ -112,7 +123,7 @@ func TestBandwidthChargesTensorBytes(t *testing.T) {
 
 func TestCallCountsAndStop(t *testing.T) {
 	c := NewCluster(Config{})
-	a := c.NewActor("x", Behavior{
+	a := mustActor(t, c, "x", Behavior{
 		"f": func([]interface{}) (interface{}, error) { return nil, nil },
 	})
 	for i := 0; i < 5; i++ {
@@ -123,27 +134,26 @@ func TestCallCountsAndStop(t *testing.T) {
 	}
 	a.Stop()
 	a.Wait()
-	if _, err := a.Call("f").Get(); err == nil {
-		t.Fatal("stopped actor accepted call")
+	if _, err := a.Call("f").Get(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stopped actor accepted call: %v", err)
 	}
 }
 
-func TestDuplicateActorPanics(t *testing.T) {
+func TestDuplicateActorErrors(t *testing.T) {
 	c := NewCluster(Config{})
-	c.NewActor("dup", Behavior{})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-		c.StopAll()
-	}()
-	c.NewActor("dup", Behavior{})
+	defer c.StopAll()
+	if _, err := c.NewActor("dup", Behavior{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewActor("dup", Behavior{}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
 }
 
 func TestPipelinedThroughput(t *testing.T) {
 	// Many in-flight calls to one actor complete in call order.
 	c := NewCluster(Config{})
-	a := c.NewActor("pipe", Behavior{
+	a := mustActor(t, c, "pipe", Behavior{
 		"echo": func(args []interface{}) (interface{}, error) { return args[0], nil },
 	})
 	defer c.StopAll()
@@ -172,5 +182,278 @@ func TestPayloadEstimation(t *testing.T) {
 	want := int64(4*64 + 80 + 80 + 24)
 	if b != want {
 		t.Fatalf("bytes = %d, want %d", b, want)
+	}
+}
+
+// --- Fault tolerance ---
+
+func TestPanicCrashesActorCleanly(t *testing.T) {
+	c := NewCluster(Config{})
+	gate := make(chan struct{})
+	a := mustActor(t, c, "bomb", Behavior{
+		"boom": func([]interface{}) (interface{}, error) {
+			<-gate
+			panic("kaboom")
+		},
+		"ok": func([]interface{}) (interface{}, error) { return 1, nil },
+	})
+	f1 := a.Call("boom")
+	f2 := a.Call("ok") // queued behind the panic
+	close(gate)
+	if _, err := f1.GetTimeout(2 * time.Second); err == nil || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("panic not surfaced as crash: %v", err)
+	}
+	var pe *PanicError
+	if _, err := f1.Get(); !errors.As(err, &pe) || pe.Actor != "bomb" {
+		t.Fatalf("not a PanicError: %v", err)
+	}
+	if _, err := f2.GetTimeout(2 * time.Second); err == nil || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("queued call after panic did not fail: %v", err)
+	}
+	a.Wait()
+	if !a.Crashed() {
+		t.Fatal("actor not marked crashed")
+	}
+	if _, err := a.Call("ok").Get(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed actor accepted call: %v", err)
+	}
+}
+
+func TestGetTimeoutAbandonsSlowCall(t *testing.T) {
+	c := NewCluster(Config{})
+	a := mustActor(t, c, "slowpoke", Behavior{
+		"f": func([]interface{}) (interface{}, error) {
+			time.Sleep(80 * time.Millisecond)
+			return 42, nil
+		},
+	})
+	defer c.StopAll()
+	f := a.Call("f")
+	if _, err := f.GetTimeout(10 * time.Millisecond); !IsTimeout(err) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	// The call still completes; a later blocking Get sees the value.
+	if v, err := f.GetTimeout(2 * time.Second); err != nil || v.(int) != 42 {
+		t.Fatalf("late result lost: %v, %v", v, err)
+	}
+}
+
+func TestGetContextCancel(t *testing.T) {
+	c := NewCluster(Config{})
+	a := mustActor(t, c, "ctx", Behavior{
+		"f": func([]interface{}) (interface{}, error) {
+			time.Sleep(50 * time.Millisecond)
+			return nil, nil
+		},
+	})
+	defer c.StopAll()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Call("f").GetContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want canceled, got %v", err)
+	}
+}
+
+func TestConfigCallTimeoutAppliesToGet(t *testing.T) {
+	c := NewCluster(Config{CallTimeout: 15 * time.Millisecond})
+	a := mustActor(t, c, "deadline", Behavior{
+		"hang": func([]interface{}) (interface{}, error) {
+			time.Sleep(200 * time.Millisecond)
+			return nil, nil
+		},
+	})
+	defer c.StopAll()
+	start := time.Now()
+	if _, err := a.Call("hang").Get(); !IsTimeout(err) {
+		t.Fatalf("default deadline not applied: %v", err)
+	}
+	if time.Since(start) > 150*time.Millisecond {
+		t.Fatal("Get did not respect the configured deadline")
+	}
+}
+
+func TestRestartRespawnsFromFactory(t *testing.T) {
+	c := NewCluster(Config{})
+	incarnation := 0
+	a, err := c.NewRestartableActor("phoenix", func() (Behavior, error) {
+		incarnation++
+		id := incarnation
+		return Behavior{
+			"id":   func([]interface{}) (interface{}, error) { return id, nil },
+			"boom": func([]interface{}) (interface{}, error) { panic("die") },
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.StopAll()
+	if v, _ := a.Call("id").Get(); v.(int) != 1 {
+		t.Fatalf("incarnation = %v", v)
+	}
+	a.Call("boom").Get()
+	a.Wait()
+	nw, err := c.Restart("phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := nw.Call("id").Get(); err != nil || v.(int) != 2 {
+		t.Fatalf("restarted incarnation = %v, %v", v, err)
+	}
+	if c.Actor("phoenix") != nw {
+		t.Fatal("registry not updated")
+	}
+	if c.Restarts != 1 {
+		t.Fatalf("restarts = %d", c.Restarts)
+	}
+	// Old ref stays dead.
+	if _, err := a.Call("id").Get(); err == nil {
+		t.Fatal("old incarnation still serving")
+	}
+}
+
+func TestRestartRequiresFactory(t *testing.T) {
+	c := NewCluster(Config{})
+	defer c.StopAll()
+	mustActor(t, c, "plain", Behavior{})
+	if _, err := c.Restart("plain"); err == nil {
+		t.Fatal("restart without factory accepted")
+	}
+	if _, err := c.Restart("ghost"); err == nil {
+		t.Fatal("restart of unknown actor accepted")
+	}
+}
+
+func TestDeadActorFullMailboxDoesNotBlockSenders(t *testing.T) {
+	c := NewCluster(Config{MailboxSize: 2})
+	gate := make(chan struct{})
+	a := mustActor(t, c, "clogged", Behavior{
+		"first": func([]interface{}) (interface{}, error) {
+			<-gate
+			panic("dead")
+		},
+		"f": func([]interface{}) (interface{}, error) { return nil, nil },
+	})
+	futs := []*Future{a.Call("first")}
+	done := make(chan *Future, 16)
+	// Senders beyond the mailbox capacity block until the crash, then must
+	// all resolve with errors instead of hanging.
+	for i := 0; i < 8; i++ {
+		go func() { done <- a.Call("f") }()
+	}
+	time.Sleep(20 * time.Millisecond) // let senders pile up on the full mailbox
+	close(gate)
+	for i := 0; i < 8; i++ {
+		select {
+		case f := <-done:
+			futs = append(futs, f)
+		case <-time.After(2 * time.Second):
+			t.Fatal("sender still blocked on dead actor's mailbox")
+		}
+	}
+	for i, f := range futs {
+		if _, err := f.GetTimeout(2 * time.Second); err == nil {
+			t.Fatalf("future %d resolved without error on crashed actor", i)
+		}
+	}
+}
+
+func TestFaultPlanCrashOnNthCall(t *testing.T) {
+	c := NewCluster(Config{Faults: &FaultPlan{Actors: map[string]ActorFaults{
+		"victim": {CrashOnCall: 3},
+	}}})
+	a, err := c.NewRestartableActor("victim", func() (Behavior, error) {
+		return Behavior{"f": func([]interface{}) (interface{}, error) { return nil, nil }}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, err := a.Call("f").GetTimeout(2 * time.Second); err != nil {
+			t.Fatalf("call %d failed early: %v", i, err)
+		}
+	}
+	if _, err := a.Call("f").GetTimeout(2 * time.Second); !errors.Is(err, ErrInjected) || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("call 3 not an injected crash: %v", err)
+	}
+	// Fault state persists across restart: the fresh incarnation must not
+	// crash again at its own third call.
+	nw, err := c.Restart("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.StopAll()
+	for i := 0; i < 5; i++ {
+		if _, err := nw.Call("f").GetTimeout(2 * time.Second); err != nil {
+			t.Fatalf("restarted actor crashed again: %v", err)
+		}
+	}
+}
+
+func TestFaultPlanErrorProbDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		c := NewCluster(Config{Faults: &FaultPlan{Seed: 7, Actors: map[string]ActorFaults{
+			"flaky": {ErrorProb: 0.5},
+		}}})
+		defer c.StopAll()
+		a := mustActor(t, c, "flaky", Behavior{
+			"f": func([]interface{}) (interface{}, error) { return nil, nil },
+		})
+		out := make([]bool, 40)
+		for i := range out {
+			_, err := a.Call("f").GetTimeout(2 * time.Second)
+			out[i] = err != nil
+			if err != nil && !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+		}
+		return out
+	}
+	p1, p2 := pattern(), pattern()
+	fails := 0
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("fault pattern not deterministic at call %d", i)
+		}
+		if p1[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(p1) {
+		t.Fatalf("degenerate fault pattern: %d/%d failures", fails, len(p1))
+	}
+}
+
+func TestFaultPlanLatency(t *testing.T) {
+	c := NewCluster(Config{Faults: &FaultPlan{Seed: 3, Actors: map[string]ActorFaults{
+		"molasses": {ExtraLatency: 30 * time.Millisecond, LatencyJitter: 5 * time.Millisecond},
+	}}})
+	defer c.StopAll()
+	a := mustActor(t, c, "molasses", Behavior{
+		"f": func([]interface{}) (interface{}, error) { return nil, nil },
+	})
+	start := time.Now()
+	if _, err := a.Call("f").GetTimeout(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 28*time.Millisecond {
+		t.Fatalf("injected latency not applied: %v", d)
+	}
+}
+
+func TestStopAllAbandonsHungActor(t *testing.T) {
+	c := NewCluster(Config{ShutdownGrace: 100 * time.Millisecond})
+	block := make(chan struct{}) // never closed: a permanently hung method
+	mustActor(t, c, "hung", Behavior{
+		"hang": func([]interface{}) (interface{}, error) { <-block; return nil, nil },
+	})
+	f := c.Actor("hung").Call("hang")
+	time.Sleep(10 * time.Millisecond)
+	start := time.Now()
+	c.StopAll() // must not wait forever on the hung actor
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("StopAll blocked %v on a hung actor", d)
+	}
+	if _, err := f.GetTimeout(10 * time.Millisecond); !IsTimeout(err) {
+		t.Fatalf("hung call should only resolve via caller deadline: %v", err)
 	}
 }
