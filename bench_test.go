@@ -169,6 +169,26 @@ func BenchmarkAblationFastPath(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanVsRecursive measures repeated-Run latency of the compiled
+// execution plans against the legacy recursive session evaluator on the
+// deep-chain, DQN-update, and wide-parallel workloads. The acceptance gate
+// (chain speedup >= 2x at parallelism 1) is checked by
+// cmd/rlgraph-bench -fig plan, which writes BENCH_plan.json.
+func BenchmarkPlanVsRecursive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchkit.PlanBench(2048, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			name := map[string]string{
+				"chain": "x_chain", "dqn-update": "x_dqn", "wide-parallel": "x_wide",
+			}[r.Workload]
+			b.ReportMetric(r.Speedup, name)
+		}
+	}
+}
+
 // BenchmarkAblationSessionBatching isolates the cost of splitting an update
 // into multiple executor calls versus the single batched call RLgraph emits.
 func BenchmarkAblationSessionBatching(b *testing.B) {

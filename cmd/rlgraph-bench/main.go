@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, all")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	flag.Parse()
 
@@ -30,10 +31,10 @@ func main() {
 
 	runners := map[string]func(benchkit.Scale) error{
 		"5a": fig5a, "5b": fig5b, "6": fig6, "7a": fig7a, "7b": fig7b, "8": fig8, "9": fig9,
-		"chaos": chaos,
+		"chaos": chaos, "plan": figPlan,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos"} {
+		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan"} {
 			if err := runners[k](scale); err != nil {
 				log.Fatalf("figure %s: %v", k, err)
 			}
@@ -153,6 +154,51 @@ func chaos(s benchkit.Scale) error {
 		fmt.Printf("scenario=%-14s fps=%-8.0f updates=%-6d restarts=%-3d failed=%-4d timed_out=%-4d degraded=%s\n",
 			r.Scenario, r.FPS, r.Updates, r.Restarts, r.FailedCalls, r.TimedOutCalls, r.Degraded.Round(time.Millisecond))
 	}
+	return nil
+}
+
+// figPlan benchmarks the compiled-plan session executor against the legacy
+// recursive evaluator and records the result (plus the >= 2x chain-speedup
+// acceptance gate) in BENCH_plan.json.
+func figPlan(s benchkit.Scale) error {
+	header("Plan executor — compiled plans vs recursive session evaluation (ns per Run)")
+	rows, err := benchkit.PlanBench(s.PlanChainLen, s.PlanIters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("workload=%-14s baseline=%-12s nodes=%-6d par=%-2d baseline_ns=%-11.0f plan_ns=%-11.0f speedup=%.2fx\n",
+			r.Workload, r.Baseline, r.Nodes, r.Parallelism, r.BaselineNsOp, r.PlanNsOp, r.Speedup)
+	}
+
+	const threshold = 2.0
+	report := struct {
+		Benchmark  string                     `json:"benchmark"`
+		Workloads  []benchkit.PlanBenchResult `json:"workloads"`
+		Acceptance struct {
+			Benchmark string  `json:"benchmark"`
+			Speedup   float64 `json:"speedup"`
+			Threshold float64 `json:"threshold"`
+			Pass      bool    `json:"pass"`
+		} `json:"acceptance"`
+	}{Benchmark: "BenchmarkPlanVsRecursive", Workloads: rows}
+	for _, r := range rows {
+		if r.Workload == "chain" {
+			report.Acceptance.Benchmark = "chain (plan serial vs recursive)"
+			report.Acceptance.Speedup = r.Speedup
+			report.Acceptance.Threshold = threshold
+			report.Acceptance.Pass = r.Speedup >= threshold
+		}
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_plan.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("acceptance: chain speedup %.2fx >= %.1fx: %v (wrote BENCH_plan.json)\n",
+		report.Acceptance.Speedup, threshold, report.Acceptance.Pass)
 	return nil
 }
 

@@ -48,6 +48,10 @@ type Scale struct {
 	ImpalaActors []int
 	// ImpalaDuration is the measurement window per point.
 	ImpalaDuration time.Duration
+	// PlanChainLen is the op-chain depth of the plan-vs-recursive
+	// session microbenchmark; PlanIters is its timed runs per point.
+	PlanChainLen int
+	PlanIters    int
 }
 
 // LaptopScale is the default scaled-down experiment preset.
@@ -64,6 +68,8 @@ func LaptopScale() Scale {
 		PongPoints:     3,
 		ImpalaActors:   []int{1, 2, 4, 8},
 		ImpalaDuration: 2 * time.Second,
+		PlanChainLen:   8192,
+		PlanIters:      50,
 	}
 }
 
@@ -81,6 +87,8 @@ func QuickScale() Scale {
 	s.PongPoints = 2
 	s.ImpalaActors = []int{1, 2}
 	s.ImpalaDuration = 400 * time.Millisecond
+	s.PlanChainLen = 1024
+	s.PlanIters = 10
 	return s
 }
 

@@ -1,0 +1,21 @@
+package benchkit
+
+import "testing"
+
+func TestPlanBenchSmoke(t *testing.T) {
+	results, err := PlanBench(256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.BaselineNsOp <= 0 || r.PlanNsOp <= 0 || r.Nodes <= 0 {
+			t.Fatalf("degenerate result: %+v", r)
+		}
+	}
+	if results[0].Workload != "chain" || results[0].Speedup <= 1 {
+		t.Fatalf("chain workload should beat the recursive evaluator: %+v", results[0])
+	}
+}

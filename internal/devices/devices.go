@@ -36,6 +36,10 @@ type Device struct {
 	Kind Kind
 	// SamplesPerSec is the modelled update throughput.
 	SamplesPerSec float64
+	// Streams is the number of op streams the device executes concurrently
+	// under the parallel session scheduler (0 means 1: ops assigned to the
+	// device fully serialize, like a single accelerator stream).
+	Streams int
 }
 
 // Registry is the local device inventory an executor reads at initialization
@@ -74,6 +78,24 @@ func (r *Registry) OfKind(k Kind) []Device {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// StreamLimits returns the per-device op-stream concurrency map the session
+// scheduler consumes: device name → max concurrent op evaluations (minimum
+// 1). Executors feed this to graph.Session.SetDeviceLimits so ops mapped to
+// the same device serialize according to the device model.
+func (r *Registry) StreamLimits() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.devices))
+	for name, d := range r.devices {
+		streams := d.Streams
+		if streams < 1 {
+			streams = 1
+		}
+		out[name] = streams
+	}
 	return out
 }
 

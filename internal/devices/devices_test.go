@@ -90,3 +90,20 @@ func TestTowerGradEquivalence(t *testing.T) {
 		t.Fatal("averaged tower gradients differ from full-batch gradient")
 	}
 }
+
+func TestRegistryStreamLimits(t *testing.T) {
+	r := NewRegistry(
+		Device{Name: "cpu0", Kind: CPU},             // Streams 0 -> 1
+		Device{Name: "gpu0", Kind: GPU, Streams: 4}, // modelled multi-stream
+	)
+	limits := r.StreamLimits()
+	if limits["cpu0"] != 1 {
+		t.Fatalf("cpu0 limit = %d, want 1 (Streams zero-value serializes)", limits["cpu0"])
+	}
+	if limits["gpu0"] != 4 {
+		t.Fatalf("gpu0 limit = %d, want 4", limits["gpu0"])
+	}
+	if len(limits) != 2 {
+		t.Fatalf("limits = %v", limits)
+	}
+}

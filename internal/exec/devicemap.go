@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rlgraph/internal/component"
+	"rlgraph/internal/devices"
 )
 
 // DeviceMap assigns devices to components by scope prefix (paper §4.1:
@@ -36,4 +37,23 @@ func (m DeviceMap) Apply(root *component.Component) int {
 		}
 	})
 	return assigned
+}
+
+// StreamLimits builds the per-device concurrency map for the session's
+// parallel scheduler from this device map's targets, reading modelled stream
+// counts from the registry. Devices missing from the registry (or with
+// Streams <= 1) serialize their ops: limit 1. Pass the result to
+// StaticExecutor.SetDeviceLimits.
+func (m DeviceMap) StreamLimits(reg *devices.Registry) map[string]int {
+	out := make(map[string]int, len(m))
+	for _, dev := range m {
+		limit := 1
+		if reg != nil {
+			if d, ok := reg.Lookup(dev); ok && d.Streams > 1 {
+				limit = d.Streams
+			}
+		}
+		out[dev] = limit
+	}
+	return out
 }

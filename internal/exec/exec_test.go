@@ -3,10 +3,12 @@ package exec
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"rlgraph/internal/backend"
 	"rlgraph/internal/component"
+	"rlgraph/internal/devices"
 	"rlgraph/internal/spaces"
 	"rlgraph/internal/tensor"
 	"rlgraph/internal/vars"
@@ -82,8 +84,8 @@ func TestStaticExecutorEndToEnd(t *testing.T) {
 		t.Fatalf("got %v", out[0])
 	}
 	// One Execute = one session run, regardless of graph size.
-	if ex.Session().RunCount != 1 {
-		t.Fatalf("session runs = %d, want 1", ex.Session().RunCount)
+	if ex.Session().RunCount() != 1 {
+		t.Fatalf("session runs = %d, want 1", ex.Session().RunCount())
 	}
 }
 
@@ -275,5 +277,96 @@ func TestDeviceMapNoFalsePrefixMatch(t *testing.T) {
 	DeviceMap{"root/a": "gpu0"}.Apply(root)
 	if ab.Device() == "gpu0" {
 		t.Fatal("prefix 'root/a' must not match scope 'root/ab'")
+	}
+}
+
+func TestExecuteValidatesFeedShapes(t *testing.T) {
+	root, _, _ := pipelineRoot()
+	ex := NewStatic(root)
+	if _, err := ex.Build(inSpec()); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		in   *tensor.Tensor
+	}{
+		{"rank mismatch", tensor.FromSlice([]float64{1, 2, 3}, 3)},
+		{"dim mismatch", tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)},
+		{"nil tensor", nil},
+	}
+	for _, c := range cases {
+		_, err := ex.Execute("forward", c.in)
+		if err == nil {
+			t.Fatalf("%s: accepted bad input", c.name)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `Execute("forward") argument 0`) {
+			t.Fatalf("%s: error does not name API and argument: %v", c.name, err)
+		}
+	}
+	// The batch rank is -1: any batch size passes.
+	if _, err := ex.Execute("forward", tensor.FromSlice(make([]float64, 21), 7, 3)); err != nil {
+		t.Fatalf("wildcard batch dim rejected: %v", err)
+	}
+}
+
+func TestExecuteUsesPrecompiledPlans(t *testing.T) {
+	root, _, _ := pipelineRoot()
+	ex := NewStatic(root)
+	if _, err := ex.Build(inSpec()); err != nil {
+		t.Fatal(err)
+	}
+	compiled := ex.Session().CompiledPlans()
+	if compiled == 0 {
+		t.Fatal("Build compiled no plans")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := ex.Execute("forward", tensor.FromSlice([]float64{1, 2, 3}, 1, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ex.Session().CompiledPlans(); got != compiled {
+		t.Fatalf("Execute compiled new plans: %d -> %d", compiled, got)
+	}
+}
+
+func TestParallelExecuteMatchesSerial(t *testing.T) {
+	in := tensor.RandNormal(rand.New(rand.NewSource(3)), 0, 1, 4, 3)
+	run := func(workers int) *tensor.Tensor {
+		root, _, _ := pipelineRoot()
+		ex := NewStatic(root)
+		ex.SetParallelism(workers) // before Build: applied to the new session
+		if _, err := ex.Build(inSpec()); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ex.Execute("forward", in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0]
+	}
+	if serial, par := run(1), run(4); !serial.Equal(par) {
+		t.Fatalf("parallel Execute diverged: %v vs %v", par, serial)
+	}
+}
+
+func TestDeviceMapStreamLimits(t *testing.T) {
+	reg := devices.NewRegistry(
+		devices.Device{Name: "gpu0", Kind: devices.GPU, Streams: 4},
+		devices.Device{Name: "cpu0", Kind: devices.CPU},
+	)
+	m := DeviceMap{"root": "cpu0", "root/b": "gpu0", "root/c": "tpu9"}
+	limits := m.StreamLimits(reg)
+	want := map[string]int{"cpu0": 1, "gpu0": 4, "tpu9": 1}
+	if len(limits) != len(want) {
+		t.Fatalf("limits = %v", limits)
+	}
+	for k, v := range want {
+		if limits[k] != v {
+			t.Fatalf("limits[%q] = %d, want %d", k, limits[k], v)
+		}
+	}
+	if nil2 := (DeviceMap{"root": "gpu0"}).StreamLimits(nil); nil2["gpu0"] != 1 {
+		t.Fatalf("nil registry: %v", nil2)
 	}
 }

@@ -11,17 +11,19 @@ import (
 	"rlgraph/internal/vars"
 )
 
-// staticEntry is one op-registry record: the placeholders and fetch nodes of
-// a root API method.
+// staticEntry is one op-registry record: the placeholders, fetch nodes and
+// precompiled execution plan of a root API method.
 type staticEntry struct {
 	placeholders []*graph.Node
 	fetches      []*graph.Node
+	plan         *graph.Plan
 }
 
 // StaticExecutor compiles the component graph into a dataflow graph once and
-// serves every Execute with a single Session.Run — the registry lookup plus
-// batched session call the paper describes for the TF executor. After the
-// build, the component graph is not touched again at run time.
+// serves every Execute with a single batched session call — the registry
+// lookup the paper describes for the TF executor. Build precompiles one
+// execution plan per registry entry, so Execute is lookup + feed-bind +
+// iterate; the component graph is not touched again at run time.
 type StaticExecutor struct {
 	root     *component.Component
 	g        *graph.Graph
@@ -29,6 +31,11 @@ type StaticExecutor struct {
 	ops      *backend.StaticOps
 	registry map[string]*staticEntry
 	report   *BuildReport
+
+	// parallelism and devLimits are applied to the session at Build (and
+	// immediately if already built).
+	parallelism int
+	devLimits   map[string]int
 }
 
 // NewStatic returns an unbuilt static executor for root.
@@ -99,6 +106,21 @@ func (e *StaticExecutor) Build(in InputSpaces) (*BuildReport, error) {
 	buildTime := time.Since(start)
 
 	e.sess = graph.NewSession(e.g)
+	if e.parallelism > 0 {
+		e.sess.SetParallelism(e.parallelism)
+	}
+	if e.devLimits != nil {
+		e.sess.SetDeviceLimits(e.devLimits)
+	}
+	// Precompile one execution plan per registry entry so Execute never pays
+	// plan compilation or cache-key hashing.
+	for api, ent := range e.registry {
+		p, err := e.sess.Compile(ent.fetches, ent.placeholders)
+		if err != nil {
+			return nil, fmt.Errorf("exec: compiling plan for API %q: %w", api, err)
+		}
+		ent.plan = p
+	}
 	e.report = &BuildReport{
 		Backend:       e.BackendName(),
 		TraceTime:     traceTime,
@@ -113,8 +135,32 @@ func (e *StaticExecutor) Build(in InputSpaces) (*BuildReport, error) {
 	return e.report, nil
 }
 
-// Execute looks the API up in the op registry, assembles feeds, and issues
-// one batched session call.
+// SetParallelism sets the session worker count for plan execution (<=1 =
+// serial). May be called before or after Build.
+func (e *StaticExecutor) SetParallelism(n int) {
+	e.parallelism = n
+	if e.sess != nil {
+		e.sess.SetParallelism(n)
+	}
+}
+
+// SetDeviceLimits sets per-device op-stream limits for the parallel
+// scheduler (see graph.Session.SetDeviceLimits and DeviceMap.StreamLimits).
+// May be called before or after Build.
+func (e *StaticExecutor) SetDeviceLimits(limits map[string]int) {
+	m := make(map[string]int, len(limits))
+	for k, v := range limits {
+		m[k] = v
+	}
+	e.devLimits = m
+	if e.sess != nil {
+		e.sess.SetDeviceLimits(m)
+	}
+}
+
+// Execute looks the API up in the op registry, validates and assembles
+// feeds, and issues one batched session call over the entry's precompiled
+// plan.
 func (e *StaticExecutor) Execute(api string, inputs ...*tensor.Tensor) ([]*tensor.Tensor, error) {
 	ent := e.registry[api]
 	if ent == nil {
@@ -126,9 +172,39 @@ func (e *StaticExecutor) Execute(api string, inputs ...*tensor.Tensor) ([]*tenso
 	}
 	feeds := make(graph.Feeds, len(inputs))
 	for i, in := range inputs {
-		feeds[ent.placeholders[i]] = in
+		ph := ent.placeholders[i]
+		if err := checkFeedShape(api, i, ph, in); err != nil {
+			return nil, err
+		}
+		feeds[ph] = in
 	}
-	return e.sess.Run(ent.fetches, feeds)
+	return e.sess.RunCompiled(ent.plan, feeds)
+}
+
+// checkFeedShape validates a fed tensor against its placeholder's static
+// shape (-1 dims are wildcards), so wrong-shaped inputs fail at the API
+// boundary naming the API and argument index instead of deep inside an op
+// evaluation with a node id.
+func checkFeedShape(api string, arg int, ph *graph.Node, in *tensor.Tensor) error {
+	if in == nil {
+		return fmt.Errorf("exec: Execute(%q) argument %d (%s): nil tensor", api, arg, ph.Name())
+	}
+	want := ph.Shape()
+	got := in.Shape()
+	ok := len(got) == len(want)
+	if ok {
+		for i := range want {
+			if want[i] != -1 && want[i] != got[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		return fmt.Errorf("exec: Execute(%q) argument %d (%s): tensor shape %v incompatible with placeholder shape %v (-1 matches any dim)",
+			api, arg, ph.Name(), got, want)
+	}
+	return nil
 }
 
 // Variables returns all variables created during the build.

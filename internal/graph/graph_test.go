@@ -110,11 +110,11 @@ func TestSessionCounters(t *testing.T) {
 	if _, err := sess.Run1(y, nil); err != nil {
 		t.Fatal(err)
 	}
-	if sess.RunCount != 1 || sess.NodesEvaluated != 2 {
-		t.Fatalf("counters = %d runs, %d nodes", sess.RunCount, sess.NodesEvaluated)
+	if sess.RunCount() != 1 || sess.NodesEvaluated() != 2 {
+		t.Fatalf("counters = %d runs, %d nodes", sess.RunCount(), sess.NodesEvaluated())
 	}
-	if sess.DeviceNodeCount["cpu0"] != 2 {
-		t.Fatalf("device counts = %v", sess.DeviceNodeCount)
+	if sess.DeviceNodeCounts()["cpu0"] != 2 {
+		t.Fatalf("device counts = %v", sess.DeviceNodeCounts())
 	}
 }
 

@@ -58,6 +58,7 @@ func (o *varReadOp) InferShape([][]int) ([]int, error) {
 func (o *varReadOp) Eval(*RunCtx, []*tensor.Tensor) (*tensor.Tensor, error) {
 	return o.v.Val, nil
 }
+func (o *varReadOp) StatefulEval() {}
 
 // VarRead adds a node that reads v at run time. Gradients flow into reads of
 // trainable variables via the Gradients wrt-node mechanism.
@@ -84,6 +85,7 @@ func (o *assignOp) Eval(_ *RunCtx, inputs []*tensor.Tensor) (*tensor.Tensor, err
 	o.v.Set(inputs[0])
 	return inputs[0], nil
 }
+func (o *assignOp) StatefulEval() {}
 
 // Assign adds a stateful node that stores val into v when evaluated.
 func Assign(g *Graph, v *vars.Variable, val *Node) *Node {
@@ -103,6 +105,7 @@ func (o *addToOp) Eval(_ *RunCtx, inputs []*tensor.Tensor) (*tensor.Tensor, erro
 	tensor.AddInPlace(o.v.Val, tensor.Scale(inputs[0], o.scale))
 	return inputs[0], nil
 }
+func (o *addToOp) StatefulEval() {}
 
 // AddTo adds a stateful node computing v += scale*val.
 func AddTo(g *Graph, v *vars.Variable, val *Node, scale float64) *Node {
@@ -138,6 +141,7 @@ func (o *statefulOp) InferShape([][]int) ([]int, error) { return o.shape, nil }
 func (o *statefulOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return o.fn(in)
 }
+func (o *statefulOp) StatefulEval() {}
 
 // Stateful adds a host-computation node with a declared output shape (-1 for
 // unknown dims). Stateful nodes are opaque to autodiff.
@@ -168,6 +172,7 @@ func (o *statefulMultiBase) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor
 	o.last = outs
 	return tensor.Scalar(float64(len(outs))), nil
 }
+func (o *statefulMultiBase) StatefulEval() {}
 
 // statefulPickOp reads output i of its base node's latest evaluation.
 type statefulPickOp struct {
@@ -185,6 +190,7 @@ func (o *statefulPickOp) Eval(_ *RunCtx, _ []*tensor.Tensor) (*tensor.Tensor, er
 	}
 	return o.base.last[o.index], nil
 }
+func (o *statefulPickOp) StatefulEval() {}
 
 // StatefulMulti adds a host computation with len(outShapes) outputs,
 // returning one node per output.

@@ -1,0 +1,487 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"rlgraph/internal/tensor"
+)
+
+// StatefulOp is implemented by ops whose Eval reads or writes state that
+// lives outside the op's input tensors (variables, replay memories, host
+// counters). The plan scheduler keeps every such step in serial evaluation
+// order — also under the parallel scheduler — so stateful programs execute
+// bit-for-bit identically at any parallelism level. Pure ops only synchronize
+// through their dataflow edges.
+type StatefulOp interface {
+	Op
+	// StatefulEval marks the op as order-sensitive; it carries no behaviour.
+	StatefulEval()
+}
+
+// step is one compiled op evaluation: the node, its output value slot, and
+// the range of input slots in Plan.insSlots.
+type step struct {
+	node     *Node
+	out      int32 // output value slot
+	insOff   int32 // offset into Plan.insSlots (and the run's input scratch)
+	insLen   int32
+	schedDev int32 // index into Plan.schedDevices; -1 = unconstrained
+	statDev  int32 // index into Plan.statDevices (always valid)
+}
+
+// feedBind records a slot that must be populated from the feed dict.
+type feedBind struct {
+	node *Node
+	slot int32
+}
+
+// Plan is a compiled execution schedule for one (fetch-set, feed-set) pair:
+// the transitive closure of the fetches (including control dependencies),
+// topologically sorted in exactly the order the recursive evaluator would
+// visit it, with every node assigned a dense value slot. Runs execute the
+// flat step list iteratively over a slot-indexed value array — no recursion,
+// no per-run memo map, stable op ordering. Plans are immutable after
+// compilation and safe for concurrent Run use.
+type Plan struct {
+	g          *Graph
+	steps      []step
+	insSlots   []int32 // concatenated input slot lists, indexed via step.insOff
+	nslots     int
+	fetchSlots []int32
+	feeds      []feedBind
+	feedSlot   map[*Node]int32 // fed node -> slot
+	slotOf     map[*Node]int32 // every closure node (fed nodes and steps)
+
+	// Parallel-scheduler metadata: per-step successor lists and initial
+	// indegrees over dataflow edges, control-dependency edges, and the
+	// stateful chain.
+	succ   [][]int32
+	indeg0 []int32
+
+	// statDevices indexes the device-name tally (includes ""); schedDevices
+	// lists only named devices, whose steps serialize through a per-device
+	// stream semaphore.
+	statDevices  []string
+	schedDevices []string
+
+	scratch sync.Pool
+}
+
+// Steps returns the number of compiled op evaluations per run.
+func (p *Plan) Steps() int { return len(p.steps) }
+
+// Slots returns the size of the per-run value array.
+func (p *Plan) Slots() int { return p.nslots }
+
+// planScratch is the reusable per-run buffer set.
+type planScratch struct {
+	values []*tensor.Tensor
+	ins    []*tensor.Tensor
+	indeg  []int32
+}
+
+// planKey builds the cache key for a fetch-set under a feed-key-set: fetch
+// ids in order, then fed node ids sorted. Plans depend on the feed keys
+// because fed nodes are sources — their subgraphs are pruned from the plan.
+func planKey(g *Graph, fetches []*Node, feeds Feeds) string {
+	b := make([]byte, 0, 8*(len(fetches)+len(feeds)))
+	for _, f := range fetches {
+		b = strconv.AppendInt(b, int64(f.id), 36)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	if len(feeds) > 0 {
+		ids := make([]int, 0, len(feeds))
+		for n := range feeds {
+			if n.g == g {
+				ids = append(ids, n.id)
+			}
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			b = strconv.AppendInt(b, int64(id), 36)
+			b = append(b, ',')
+		}
+	}
+	return string(b)
+}
+
+const (
+	visitWhite = iota
+	visitGrey
+	visitBlack
+)
+
+// compilePlan topologically sorts the transitive closure of fetches via an
+// iterative DFS that mirrors the recursive evaluator's visit order (control
+// deps before inputs, both in declaration order), assigns value slots, and
+// precomputes the parallel-scheduler edge lists. Fed nodes become sources:
+// they get slots but no steps, and their subgraphs are not visited.
+func compilePlan(g *Graph, fetches []*Node, fed map[*Node]bool) (*Plan, error) {
+	p := &Plan{
+		g:        g,
+		feedSlot: make(map[*Node]int32),
+		slotOf:   make(map[*Node]int32),
+	}
+	state := make([]uint8, g.NumNodes())
+	stepIdxOf := make(map[*Node]int32)
+	statDevIdx := map[string]int32{}
+	schedDevIdx := map[string]int32{}
+	nextSlot := int32(0)
+
+	ensureFeedSlot := func(n *Node) {
+		if _, ok := p.slotOf[n]; ok {
+			return
+		}
+		slot := nextSlot
+		nextSlot++
+		p.slotOf[n] = slot
+		p.feedSlot[n] = slot
+		p.feeds = append(p.feeds, feedBind{node: n, slot: slot})
+	}
+
+	emitStep := func(n *Node) {
+		out := nextSlot
+		nextSlot++
+		p.slotOf[n] = out
+		insOff := int32(len(p.insSlots))
+		for _, in := range n.inputs {
+			p.insSlots = append(p.insSlots, p.slotOf[in])
+		}
+		sd, ok := statDevIdx[n.device]
+		if !ok {
+			sd = int32(len(p.statDevices))
+			statDevIdx[n.device] = sd
+			p.statDevices = append(p.statDevices, n.device)
+		}
+		schedDev := int32(-1)
+		if n.device != "" {
+			d, ok := schedDevIdx[n.device]
+			if !ok {
+				d = int32(len(p.schedDevices))
+				schedDevIdx[n.device] = d
+				p.schedDevices = append(p.schedDevices, n.device)
+			}
+			schedDev = d
+		}
+		stepIdxOf[n] = int32(len(p.steps))
+		p.steps = append(p.steps, step{
+			node: n, out: out,
+			insOff: insOff, insLen: int32(len(n.inputs)),
+			schedDev: schedDev, statDev: sd,
+		})
+	}
+
+	type frame struct {
+		n     *Node
+		child int
+	}
+	var stack []frame
+
+	visitRoot := func(root *Node) error {
+		if root.g != g {
+			return fmt.Errorf("graph: fetch %v belongs to a different graph", root)
+		}
+		if fed[root] {
+			ensureFeedSlot(root)
+			return nil
+		}
+		if state[root.id] == visitBlack {
+			return nil
+		}
+		state[root.id] = visitGrey
+		stack = append(stack[:0], frame{n: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			n := f.n
+			if nc := len(n.deps) + len(n.inputs); f.child < nc {
+				var c *Node
+				if f.child < len(n.deps) {
+					c = n.deps[f.child]
+				} else {
+					c = n.inputs[f.child-len(n.deps)]
+				}
+				f.child++
+				if c.g != g {
+					return fmt.Errorf("graph: node %v belongs to a different graph", c)
+				}
+				if fed[c] {
+					ensureFeedSlot(c)
+					continue
+				}
+				switch state[c.id] {
+				case visitBlack:
+					continue
+				case visitGrey:
+					return fmt.Errorf("graph: cycle detected through %v and %v", n, c)
+				}
+				state[c.id] = visitGrey
+				stack = append(stack, frame{n: c})
+				continue
+			}
+			state[n.id] = visitBlack
+			emitStep(n)
+			stack = stack[:len(stack)-1]
+		}
+		return nil
+	}
+
+	for _, f := range fetches {
+		if err := visitRoot(f); err != nil {
+			return nil, err
+		}
+	}
+
+	p.fetchSlots = make([]int32, len(fetches))
+	for i, f := range fetches {
+		p.fetchSlots[i] = p.slotOf[f]
+	}
+	p.nslots = int(nextSlot)
+
+	// Parallel edges: unique predecessor lists over inputs and control deps,
+	// plus a chain through all stateful steps in serial order.
+	preds := make([][]int32, len(p.steps))
+	addPred := func(i int, si int32) {
+		for _, e := range preds[i] {
+			if e == si {
+				return
+			}
+		}
+		preds[i] = append(preds[i], si)
+	}
+	for i := range p.steps {
+		n := p.steps[i].node
+		for _, d := range n.deps {
+			if si, ok := stepIdxOf[d]; ok {
+				addPred(i, si)
+			}
+		}
+		for _, in := range n.inputs {
+			if si, ok := stepIdxOf[in]; ok {
+				addPred(i, si)
+			}
+		}
+	}
+	prev := int32(-1)
+	for i := range p.steps {
+		if _, ok := p.steps[i].node.op.(StatefulOp); ok {
+			if prev >= 0 {
+				addPred(i, prev)
+			}
+			prev = int32(i)
+		}
+	}
+	p.succ = make([][]int32, len(p.steps))
+	p.indeg0 = make([]int32, len(p.steps))
+	for i := range p.steps {
+		p.indeg0[i] = int32(len(preds[i]))
+		for _, pr := range preds[i] {
+			p.succ[pr] = append(p.succ[pr], int32(i))
+		}
+	}
+
+	nslots, insTotal, nsteps := p.nslots, len(p.insSlots), len(p.steps)
+	p.scratch.New = func() any {
+		return &planScratch{
+			values: make([]*tensor.Tensor, nslots),
+			ins:    make([]*tensor.Tensor, insTotal),
+			indeg:  make([]int32, nsteps),
+		}
+	}
+	return p, nil
+}
+
+// runPlan executes a compiled plan under the session's parallelism setting,
+// merging evaluation statistics into the session — also on the error path,
+// so failed runs never undercount profiling tallies.
+func (s *Session) runPlan(p *Plan, feeds Feeds) ([]*tensor.Tensor, error) {
+	if p == nil {
+		return nil, fmt.Errorf("graph: nil execution plan")
+	}
+	if p.g != s.g {
+		return nil, fmt.Errorf("graph: plan belongs to a different graph")
+	}
+	s.runCount.Add(1)
+
+	sc := p.scratch.Get().(*planScratch)
+	defer func() {
+		clear(sc.values)
+		clear(sc.ins)
+		p.scratch.Put(sc)
+	}()
+
+	// Bind feeds. A feed for a closure node the plan did not compile as fed
+	// would silently change semantics, so it is rejected; feeds for nodes
+	// outside the closure are ignored, as in the recursive evaluator.
+	bound := 0
+	for n, v := range feeds {
+		if slot, ok := p.feedSlot[n]; ok {
+			sc.values[slot] = v
+			bound++
+		} else if _, inClosure := p.slotOf[n]; inClosure {
+			return nil, fmt.Errorf("graph: plan was compiled without a feed for %v; include it in the compile feed set", n)
+		}
+	}
+	if bound != len(p.feeds) {
+		for _, fb := range p.feeds {
+			if _, ok := feeds[fb.node]; !ok {
+				return nil, fmt.Errorf("graph: compiled plan expects a feed for %v", fb.node)
+			}
+		}
+	}
+
+	devCounts := make([]int64, len(p.statDevices))
+	var evaluated int64
+	var runErr error
+	if workers := int(s.parallelism.Load()); workers > 1 && len(p.steps) > 1 {
+		evaluated, runErr = p.execParallel(sc, devCounts, workers, s.deviceLimitsRef())
+	} else {
+		evaluated, runErr = p.execSerial(sc, devCounts)
+	}
+
+	s.nodesEvaluated.Add(evaluated)
+	s.mu.Lock()
+	for i, c := range devCounts {
+		if c != 0 {
+			s.deviceNodeCount[p.statDevices[i]] += int(c)
+		}
+	}
+	s.mu.Unlock()
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	out := make([]*tensor.Tensor, len(p.fetchSlots))
+	for i, slot := range p.fetchSlots {
+		out[i] = sc.values[slot]
+	}
+	return out, nil
+}
+
+// execSerial runs the step list in compiled (recursive-equivalent) order.
+func (p *Plan) execSerial(sc *planScratch, devCounts []int64) (int64, error) {
+	ctx := &RunCtx{}
+	values := sc.values
+	var evaluated int64
+	for i := range p.steps {
+		st := &p.steps[i]
+		ins := sc.ins[st.insOff : st.insOff+st.insLen]
+		for k, slot := range p.insSlots[st.insOff : st.insOff+st.insLen] {
+			ins[k] = values[slot]
+		}
+		v, err := st.node.op.Eval(ctx, ins)
+		if err != nil {
+			return evaluated, fmt.Errorf("graph: evaluating %v: %w", st.node, err)
+		}
+		evaluated++
+		devCounts[st.statDev]++
+		values[st.out] = v
+	}
+	return evaluated, nil
+}
+
+// execParallel runs ready steps across a bounded worker pool using per-step
+// indegree counters. Steps on the same named device serialize through that
+// device's stream semaphore (default one stream); stateful steps are chained
+// by compile-time edges, so results match serial execution bit-for-bit.
+func (p *Plan) execParallel(sc *planScratch, devCounts []int64, workers int, limits map[string]int) (int64, error) {
+	if workers > len(p.steps) {
+		workers = len(p.steps)
+	}
+	indeg := sc.indeg
+	copy(indeg, p.indeg0)
+	values := sc.values
+
+	sems := make([]chan struct{}, len(p.schedDevices))
+	for i, name := range p.schedDevices {
+		streams := 1
+		if limits[name] > 0 {
+			streams = limits[name]
+		}
+		sems[i] = make(chan struct{}, streams)
+	}
+
+	// ready is buffered to the full step count so completion-driven sends
+	// never block; done closes on first error or when all steps finished.
+	ready := make(chan int32, len(p.steps))
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	finish := func() { closeOnce.Do(func() { close(done) }) }
+
+	remaining := int64(len(p.steps))
+	var evaluated int64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		finish()
+	}
+
+	for i := range p.steps {
+		if p.indeg0[i] == 0 {
+			ready <- int32(i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := &RunCtx{}
+			for {
+				var i int32
+				select {
+				case <-done:
+					return
+				case i = <-ready:
+				}
+				st := &p.steps[i]
+				ins := sc.ins[st.insOff : st.insOff+st.insLen]
+				for k, slot := range p.insSlots[st.insOff : st.insOff+st.insLen] {
+					ins[k] = values[slot]
+				}
+				if st.schedDev >= 0 {
+					select {
+					case sems[st.schedDev] <- struct{}{}:
+					case <-done:
+						return
+					}
+				}
+				v, err := st.node.op.Eval(ctx, ins)
+				if st.schedDev >= 0 {
+					<-sems[st.schedDev]
+				}
+				if err != nil {
+					fail(fmt.Errorf("graph: evaluating %v: %w", st.node, err))
+					return
+				}
+				values[st.out] = v
+				atomic.AddInt64(&evaluated, 1)
+				atomic.AddInt64(&devCounts[st.statDev], 1)
+				for _, succ := range p.succ[i] {
+					if atomic.AddInt32(&indeg[succ], -1) == 0 {
+						ready <- succ
+					}
+				}
+				if atomic.AddInt64(&remaining, -1) == 0 {
+					finish()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return atomic.LoadInt64(&evaluated), err
+}

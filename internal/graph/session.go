@@ -2,6 +2,8 @@ package graph
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"rlgraph/internal/tensor"
 )
@@ -10,47 +12,124 @@ import (
 type Feeds map[*Node]*tensor.Tensor
 
 // Session executes a graph. Like a TF session, it is created once per graph
-// and invoked repeatedly; each Run memoizes node values so shared sub-graphs
-// evaluate once. Sessions additionally keep counters the benchmarks use to
-// verify the "one batched session call per agent API call" property the
-// paper attributes to RLgraph's TF executor.
+// and invoked repeatedly; each fetch-set is compiled once into an execution
+// plan (topological step list + dense value slots) and cached, so repeated
+// Runs are a flat iteration with no recursion and no per-run memo map.
+// Sessions additionally keep counters the benchmarks use to verify the "one
+// batched session call per agent API call" property the paper attributes to
+// RLgraph's TF executor.
+//
+// Concurrency contract: a Session is safe for concurrent Run/RunCompiled
+// calls — counters are atomic and the plan cache sits behind an RWMutex. The
+// graph itself must be frozen (no Add/AddDep) once the session starts
+// running; compiled plans do not observe later graph mutations.
 type Session struct {
 	g *Graph
 
-	// RunCount is the total number of Run invocations.
-	RunCount int
-	// NodesEvaluated is the total number of op evaluations across runs.
-	NodesEvaluated int
-	// DeviceNodeCount tallies op evaluations per device across runs.
-	DeviceNodeCount map[string]int
+	// parallelism is the worker count for plan execution (<=1 = serial).
+	parallelism atomic.Int32
+
+	runCount       atomic.Int64
+	nodesEvaluated atomic.Int64
+
+	mu              sync.Mutex
+	deviceNodeCount map[string]int
+	devLimits       map[string]int
+
+	planMu sync.RWMutex
+	plans  map[string]*Plan
 }
 
 // NewSession returns a session for g.
 func NewSession(g *Graph) *Session {
-	return &Session{g: g, DeviceNodeCount: make(map[string]int)}
+	return &Session{
+		g:               g,
+		deviceNodeCount: make(map[string]int),
+		plans:           make(map[string]*Plan),
+	}
 }
 
 // Graph returns the session's graph.
 func (s *Session) Graph() *Graph { return s.g }
 
+// SetParallelism sets the number of workers used to execute plan steps
+// (n <= 1 selects the serial executor). Steps on the same named device still
+// serialize through the device's stream limit (see SetDeviceLimits), and
+// stateful steps always run in serial-evaluation order, so results are
+// independent of the parallelism level. Safe to call concurrently with Run;
+// it affects subsequent runs.
+func (s *Session) SetParallelism(n int) { s.parallelism.Store(int32(n)) }
+
+// Parallelism returns the current worker count.
+func (s *Session) Parallelism() int { return int(s.parallelism.Load()) }
+
+// SetDeviceLimits sets per-device op-stream limits for the parallel
+// scheduler: at most limits[name] steps assigned to device name execute
+// concurrently (unset or <1 means 1 — fully serialized, like a single
+// accelerator stream). Nodes without a device assignment are unconstrained.
+// The map is copied.
+func (s *Session) SetDeviceLimits(limits map[string]int) {
+	m := make(map[string]int, len(limits))
+	for k, v := range limits {
+		m[k] = v
+	}
+	s.mu.Lock()
+	s.devLimits = m
+	s.mu.Unlock()
+}
+
+// deviceLimitsRef returns the current limits map; it is replaced wholesale
+// by SetDeviceLimits and never mutated in place, so reading it is safe.
+func (s *Session) deviceLimitsRef() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.devLimits
+}
+
+// RunCount returns the total number of Run invocations.
+func (s *Session) RunCount() int { return int(s.runCount.Load()) }
+
+// NodesEvaluated returns the total number of op evaluations across runs,
+// including evaluations performed by runs that ended in an error.
+func (s *Session) NodesEvaluated() int { return int(s.nodesEvaluated.Load()) }
+
+// DeviceNodeCounts returns a copy of the per-device op-evaluation tallies.
+func (s *Session) DeviceNodeCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.deviceNodeCount))
+	for k, v := range s.deviceNodeCount {
+		out[k] = v
+	}
+	return out
+}
+
+// CompiledPlans returns the number of cached execution plans.
+func (s *Session) CompiledPlans() int {
+	s.planMu.RLock()
+	defer s.planMu.RUnlock()
+	return len(s.plans)
+}
+
+// ClearPlans drops the plan cache (e.g. after mutating the graph).
+func (s *Session) ClearPlans() {
+	s.planMu.Lock()
+	s.plans = make(map[string]*Plan)
+	s.planMu.Unlock()
+}
+
 // Run evaluates the fetch nodes under the given feeds, returning one tensor
 // per fetch. All fetches (and their control dependencies) are evaluated
-// within a single memoized pass — the static-graph analogue of batching all
-// relevant operations into one session call.
+// within a single pass over a compiled plan — the static-graph analogue of
+// batching all relevant operations into one session call. The plan is
+// compiled on first use and cached keyed by the (fetch-set, feed-key-set)
+// pair; subsequent Runs are lookup + feed-bind + iterate.
 func (s *Session) Run(fetches []*Node, feeds Feeds) ([]*tensor.Tensor, error) {
-	s.RunCount++
-	ctx := &RunCtx{DeviceNodeCount: s.DeviceNodeCount}
-	memo := make(map[*Node]*tensor.Tensor, len(fetches)*4)
-	out := make([]*tensor.Tensor, len(fetches))
-	for i, f := range fetches {
-		v, err := s.eval(f, feeds, memo, ctx)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	p, err := s.planFor(fetches, feeds)
+	if err != nil {
+		return nil, err
 	}
-	s.NodesEvaluated += ctx.NodesEvaluated
-	return out, nil
+	return s.runPlan(p, feeds)
 }
 
 // Run1 evaluates a single fetch.
@@ -62,7 +141,85 @@ func (s *Session) Run1(fetch *Node, feeds Feeds) (*tensor.Tensor, error) {
 	return vs[0], nil
 }
 
-func (s *Session) eval(n *Node, feeds Feeds, memo map[*Node]*tensor.Tensor, ctx *RunCtx) (*tensor.Tensor, error) {
+// Compile builds (or returns the cached) execution plan for a fetch-set,
+// treating feedNodes as run-time sources. Executors precompile one plan per
+// registry entry at build time so Execute never pays compilation or cache-key
+// hashing; pass the plan to RunCompiled.
+func (s *Session) Compile(fetches []*Node, feedNodes []*Node) (*Plan, error) {
+	feeds := make(Feeds, len(feedNodes))
+	for _, n := range feedNodes {
+		feeds[n] = nil
+	}
+	return s.planFor(fetches, feeds)
+}
+
+// RunCompiled executes a plan previously returned by Compile. Every node in
+// the plan's feed set must be present in feeds.
+func (s *Session) RunCompiled(p *Plan, feeds Feeds) ([]*tensor.Tensor, error) {
+	return s.runPlan(p, feeds)
+}
+
+// planFor returns the cached plan for (fetches, feed keys), compiling it on
+// first use.
+func (s *Session) planFor(fetches []*Node, feeds Feeds) (*Plan, error) {
+	key := planKey(s.g, fetches, feeds)
+	s.planMu.RLock()
+	p := s.plans[key]
+	s.planMu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	fed := make(map[*Node]bool, len(feeds))
+	for n := range feeds {
+		fed[n] = true
+	}
+	p, err := compilePlan(s.g, fetches, fed)
+	if err != nil {
+		return nil, err
+	}
+	s.planMu.Lock()
+	if existing := s.plans[key]; existing != nil {
+		p = existing
+	} else {
+		s.plans[key] = p
+	}
+	s.planMu.Unlock()
+	return p, nil
+}
+
+// RunRecursive evaluates fetches with the legacy recursive tree-walking
+// evaluator. It is retained as the reference semantics for differential
+// tests and as the baseline for the plan-vs-recursive microbenchmarks; it
+// recurses to the depth of the graph, so deep unrolled graphs can exhaust
+// the goroutine stack — use Run instead.
+func (s *Session) RunRecursive(fetches []*Node, feeds Feeds) ([]*tensor.Tensor, error) {
+	s.runCount.Add(1)
+	ctx := &RunCtx{DeviceNodeCount: make(map[string]int)}
+	memo := make(map[*Node]*tensor.Tensor, len(fetches)*4)
+	out := make([]*tensor.Tensor, len(fetches))
+	var runErr error
+	for i, f := range fetches {
+		v, err := s.evalRecursive(f, feeds, memo, ctx)
+		if err != nil {
+			runErr = err
+			break
+		}
+		out[i] = v
+	}
+	// Merge stats even when the run failed, so profiling never undercounts.
+	s.nodesEvaluated.Add(int64(ctx.NodesEvaluated))
+	s.mu.Lock()
+	for d, c := range ctx.DeviceNodeCount {
+		s.deviceNodeCount[d] += c
+	}
+	s.mu.Unlock()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return out, nil
+}
+
+func (s *Session) evalRecursive(n *Node, feeds Feeds, memo map[*Node]*tensor.Tensor, ctx *RunCtx) (*tensor.Tensor, error) {
 	if n.g != s.g {
 		return nil, fmt.Errorf("graph: fetch %v belongs to a different graph", n)
 	}
@@ -74,13 +231,13 @@ func (s *Session) eval(n *Node, feeds Feeds, memo map[*Node]*tensor.Tensor, ctx 
 	}
 	// Control dependencies run first; results are discarded.
 	for _, d := range n.deps {
-		if _, err := s.eval(d, feeds, memo, ctx); err != nil {
+		if _, err := s.evalRecursive(d, feeds, memo, ctx); err != nil {
 			return nil, err
 		}
 	}
 	ins := make([]*tensor.Tensor, len(n.inputs))
 	for i, in := range n.inputs {
-		v, err := s.eval(in, feeds, memo, ctx)
+		v, err := s.evalRecursive(in, feeds, memo, ctx)
 		if err != nil {
 			return nil, err
 		}
