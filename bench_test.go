@@ -189,6 +189,29 @@ func BenchmarkPlanVsRecursive(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelMatMul measures the blocked (serial and parallel) matmul
+// kernels against the seed naive kernel at quick scale. Full sweeps and the
+// acceptance gates live in cmd/rlgraph-bench -fig kernels, which writes
+// BENCH_kernels.json.
+func BenchmarkKernelMatMul(b *testing.B) {
+	s := benchkit.QuickScale()
+	for i := 0; i < b.N; i++ {
+		rep, err := benchkit.KernelBench(s.KernelSizes, s.KernelMatMulIters, s.KernelFusedIters, s.KernelReuseIters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rep.MatMul[len(rep.MatMul)-1]
+		b.ReportMetric(last.BlockedSpeedup, "x_blocked")
+		b.ReportMetric(last.ParallelSpeedup, "x_parallel")
+		b.ReportMetric(rep.Reuse.AllocsOffOp-rep.Reuse.AllocsOnOp, "allocs_saved")
+		for _, f := range rep.Fused {
+			if f.Kernel == "ScaleAddScale" {
+				b.ReportMetric(f.Speedup, "x_fused_sas")
+			}
+		}
+	}
+}
+
 // BenchmarkAblationSessionBatching isolates the cost of splitting an update
 // into multiple executor calls versus the single batched call RLgraph emits.
 func BenchmarkAblationSessionBatching(b *testing.B) {

@@ -287,7 +287,7 @@ func (e *EagerOps) AssignVar(vr *vars.Variable, val Ref) Ref {
 // AddToVar applies v += scale*delta immediately (in ModeRun).
 func (e *EagerOps) AddToVar(vr *vars.Variable, delta Ref, scale float64) Ref {
 	if e.mode == ModeRun {
-		tensor.AddInPlace(vr.Val, tensor.Scale(v(delta).T, scale))
+		tensor.AxpyInPlace(vr.Val, scale, v(delta).T)
 	}
 	return delta
 }

@@ -52,24 +52,37 @@ type Scale struct {
 	// session microbenchmark; PlanIters is its timed runs per point.
 	PlanChainLen int
 	PlanIters    int
+	// KernelSizes are the square matmul sizes of the kernel-layer
+	// microbenchmark; KernelMatMulIters is its timed-iteration base at size
+	// 64 (shrunk cubically with size), KernelFusedIters times the fused
+	// elementwise kernels, and KernelReuseIters counts the dqn-update runs
+	// of the buffer-reuse allocation measurement.
+	KernelSizes       []int
+	KernelMatMulIters int
+	KernelFusedIters  int
+	KernelReuseIters  int
 }
 
 // LaptopScale is the default scaled-down experiment preset.
 func LaptopScale() Scale {
 	return Scale{
-		ApexWorkers:    []int{1, 2, 4, 8},
-		ApexDuration:   2 * time.Second,
-		TaskSizes:      []int{25, 50, 100, 200, 400},
-		EnvCounts:      []int{1, 4, 8},
-		ActEnvCounts:   []int{1, 2, 4, 8, 16, 32},
-		ActSteps:       30,
-		LearnTarget:    1.5,
-		LearnMaxTime:   240 * time.Second,
-		PongPoints:     3,
-		ImpalaActors:   []int{1, 2, 4, 8},
-		ImpalaDuration: 2 * time.Second,
-		PlanChainLen:   8192,
-		PlanIters:      50,
+		ApexWorkers:       []int{1, 2, 4, 8},
+		ApexDuration:      2 * time.Second,
+		TaskSizes:         []int{25, 50, 100, 200, 400},
+		EnvCounts:         []int{1, 4, 8},
+		ActEnvCounts:      []int{1, 2, 4, 8, 16, 32},
+		ActSteps:          30,
+		LearnTarget:       1.5,
+		LearnMaxTime:      240 * time.Second,
+		PongPoints:        3,
+		ImpalaActors:      []int{1, 2, 4, 8},
+		ImpalaDuration:    2 * time.Second,
+		PlanChainLen:      8192,
+		PlanIters:         50,
+		KernelSizes:       []int{64, 128, 256, 512, 1024},
+		KernelMatMulIters: 512,
+		KernelFusedIters:  2000,
+		KernelReuseIters:  200,
 	}
 }
 
@@ -89,6 +102,10 @@ func QuickScale() Scale {
 	s.ImpalaDuration = 400 * time.Millisecond
 	s.PlanChainLen = 1024
 	s.PlanIters = 10
+	s.KernelSizes = []int{64, 128}
+	s.KernelMatMulIters = 32
+	s.KernelFusedIters = 100
+	s.KernelReuseIters = 20
 	return s
 }
 

@@ -85,7 +85,7 @@ func (ps *ParameterServer) ApplyDelta(delta map[string]*tensor.Tensor, scale flo
 		if !tensor.SameShape(cur.Shape(), d.Shape()) {
 			return 0, fmt.Errorf("distexec: delta shape mismatch for %q", k)
 		}
-		tensor.AddInPlace(cur, tensor.Scale(d, scale))
+		tensor.AxpyInPlace(cur, scale, d)
 	}
 	ps.version++
 	atomic.AddInt64(&ps.pushes, 1)

@@ -32,10 +32,14 @@ type StaticExecutor struct {
 	registry map[string]*staticEntry
 	report   *BuildReport
 
-	// parallelism and devLimits are applied to the session at Build (and
-	// immediately if already built).
-	parallelism int
-	devLimits   map[string]int
+	// parallelism, devLimits, fusionOff and bufferReuseOff are applied to the
+	// session at Build (and immediately if already built). The kernel-layer
+	// optimizations default to on; the Off spelling keeps the zero value
+	// matching the session default.
+	parallelism    int
+	devLimits      map[string]int
+	fusionOff      bool
+	bufferReuseOff bool
 }
 
 // NewStatic returns an unbuilt static executor for root.
@@ -112,6 +116,8 @@ func (e *StaticExecutor) Build(in InputSpaces) (*BuildReport, error) {
 	if e.devLimits != nil {
 		e.sess.SetDeviceLimits(e.devLimits)
 	}
+	e.sess.SetFusion(!e.fusionOff)
+	e.sess.SetBufferReuse(!e.bufferReuseOff)
 	// Precompile one execution plan per registry entry so Execute never pays
 	// plan compilation or cache-key hashing.
 	for api, ent := range e.registry {
@@ -155,6 +161,26 @@ func (e *StaticExecutor) SetDeviceLimits(limits map[string]int) {
 	e.devLimits = m
 	if e.sess != nil {
 		e.sess.SetDeviceLimits(m)
+	}
+}
+
+// SetFusion toggles elementwise fusion in plan compilation (default on; see
+// graph.Session.SetFusion). Plans precompiled by Build keep the setting in
+// effect at Build time, so call this before Build to affect them.
+func (e *StaticExecutor) SetFusion(on bool) {
+	e.fusionOff = !on
+	if e.sess != nil {
+		e.sess.SetFusion(on)
+	}
+}
+
+// SetBufferReuse toggles arena recycling of plan intermediates in serial
+// execution (default on; see graph.Session.SetBufferReuse). May be called
+// before or after Build.
+func (e *StaticExecutor) SetBufferReuse(on bool) {
+	e.bufferReuseOff = !on
+	if e.sess != nil {
+		e.sess.SetBufferReuse(on)
 	}
 }
 

@@ -127,12 +127,40 @@ type GradOp interface {
 	Grad(g *Graph, n *Node, gy *Node) []*Node
 }
 
+// ValueSemanticsOp is implemented by ops whose Eval (1) returns freshly
+// allocated storage that aliases neither its inputs nor any external state,
+// and (2) reads its inputs only for the duration of Eval, retaining no
+// reference or view afterwards. The plan executor's liveness analysis
+// (see plan.go) only recycles an intermediate's buffer when its producer and
+// every consumer carry this marker; ops that alias (Identity, Reshape), share
+// (Const, VarRead), or retain (stateful ops) must not implement it.
+type ValueSemanticsOp interface {
+	Op
+	// ValueSemantics marks the op; it carries no behaviour.
+	ValueSemantics()
+}
+
 // RunCtx carries per-Run state to op evaluation (statistics, scratch).
 type RunCtx struct {
 	// NodesEvaluated counts op evaluations in this run (profiling hook).
 	NodesEvaluated int
 	// DeviceNodeCount tallies evaluations per device name.
 	DeviceNodeCount map[string]int
+
+	// arena recycles intermediate buffers when the serial plan executor runs
+	// with buffer reuse enabled; nil otherwise.
+	arena *tensor.Arena
+}
+
+// NewTensor returns a zero-filled tensor of the given shape, drawing from the
+// run's buffer arena when one is attached. Ops should allocate outputs
+// through it so plan-level buffer reuse can recycle intermediates; with no
+// arena (recursive evaluator, parallel executor) it is exactly tensor.New.
+func (c *RunCtx) NewTensor(shape ...int) *tensor.Tensor {
+	if c == nil || c.arena == nil {
+		return tensor.New(shape...)
+	}
+	return c.arena.Get(shape...)
 }
 
 // mergeDims unifies two possibly-unknown dims, or errors.

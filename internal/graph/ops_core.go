@@ -102,7 +102,7 @@ type addToOp struct {
 func (o *addToOp) Name() string                         { return "AddTo" }
 func (o *addToOp) InferShape(in [][]int) ([]int, error) { return in[0], nil }
 func (o *addToOp) Eval(_ *RunCtx, inputs []*tensor.Tensor) (*tensor.Tensor, error) {
-	tensor.AddInPlace(o.v.Val, tensor.Scale(inputs[0], o.scale))
+	tensor.AxpyInPlace(o.v.Val, o.scale, inputs[0])
 	return inputs[0], nil
 }
 func (o *addToOp) StatefulEval() {}
@@ -120,6 +120,8 @@ func (groupOp) InferShape([][]int) ([]int, error) { return []int{}, nil }
 func (groupOp) Eval(*RunCtx, []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Scalar(0), nil
 }
+
+func (groupOp) ValueSemantics() {}
 
 // Group adds a node that forces evaluation of all inputs, yielding 0.
 func Group(g *Graph, ins ...*Node) *Node { return g.Add(groupOp{}, ins...) }
@@ -235,6 +237,8 @@ func (onesLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Ones(in[0].Shape()...), nil
 }
 
+func (onesLikeOp) ValueSemantics() {}
+
 // OnesLike adds a node producing ones shaped like x at run time.
 func OnesLike(g *Graph, x *Node) *Node { return g.Add(onesLikeOp{}, x) }
 
@@ -243,9 +247,10 @@ type zerosLikeOp struct{}
 
 func (zerosLikeOp) Name() string                         { return "ZerosLike" }
 func (zerosLikeOp) InferShape(in [][]int) ([]int, error) { return in[0], nil }
-func (zerosLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	return tensor.New(in[0].Shape()...), nil
+func (zerosLikeOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return ctx.NewTensor(in[0].Shape()...), nil
 }
+func (zerosLikeOp) ValueSemantics() {}
 
 // ZerosLike adds a node producing zeros shaped like x at run time.
 func ZerosLike(g *Graph, x *Node) *Node { return g.Add(zerosLikeOp{}, x) }
@@ -273,6 +278,8 @@ func (unbroadcastLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, e
 	return tensor.UnbroadcastTo(in[0], in[1].Shape()), nil
 }
 
+func (unbroadcastLikeOp) ValueSemantics() {}
+
 // UnbroadcastLike adds a node reducing gy to ref's runtime shape by summing
 // broadcast dimensions.
 func UnbroadcastLike(g *Graph, gy, ref *Node) *Node { return g.Add(unbroadcastLikeOp{}, gy, ref) }
@@ -286,6 +293,8 @@ func (broadcastLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, err
 	return tensor.Add(tensor.New(in[1].Shape()...), in[0]), nil
 }
 
+func (broadcastLikeOp) ValueSemantics() {}
+
 // BroadcastLike adds a node broadcasting x up to ref's runtime shape.
 func BroadcastLike(g *Graph, x, ref *Node) *Node { return g.Add(broadcastLikeOp{}, x, ref) }
 
@@ -297,6 +306,8 @@ func (sizeOfOp) InferShape([][]int) ([]int, error) { return []int{}, nil }
 func (sizeOfOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Scalar(float64(in[0].Size())), nil
 }
+
+func (sizeOfOp) ValueSemantics() {}
 
 // SizeOf adds a node yielding x's runtime element count.
 func SizeOf(g *Graph, x *Node) *Node { return g.Add(sizeOfOp{}, x) }

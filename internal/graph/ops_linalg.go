@@ -41,16 +41,19 @@ func (o *matmulOp) InferShape(in [][]int) ([]int, error) {
 	return []int{am, bn}, nil
 }
 
-func (o *matmulOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+func (o *matmulOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	a, b := in[0], in[1]
 	switch {
 	case o.transA:
-		return tensor.MatMulTransA(in[0], in[1]), nil
+		return tensor.MatMulTransAInto(ctx.NewTensor(a.Dim(1), b.Dim(1)), a, b), nil
 	case o.transB:
-		return tensor.MatMulTransB(in[0], in[1]), nil
+		return tensor.MatMulTransBInto(ctx.NewTensor(a.Dim(0), b.Dim(0)), a, b), nil
 	default:
-		return tensor.MatMul(in[0], in[1]), nil
+		return tensor.MatMulInto(ctx.NewTensor(a.Dim(0), b.Dim(1)), a, b), nil
 	}
 }
+
+func (o *matmulOp) ValueSemantics() {}
 
 func (o *matmulOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	a, b := n.inputs[0], n.inputs[1]
@@ -97,6 +100,8 @@ func (o *conv2dOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) 
 	return tensor.Conv2D(in[0], in[1], o.params), nil
 }
 
+func (o *conv2dOp) ValueSemantics() {}
+
 func (o *conv2dOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	x, f := n.inputs[0], n.inputs[1]
 	dx := g.Add(&conv2dBackInputOp{params: o.params}, gy, f, x)
@@ -119,6 +124,8 @@ func (o *conv2dBackInputOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor
 	return tensor.Conv2DBackwardInput(in[0], in[1], in[2].Shape(), o.params), nil
 }
 
+func (o *conv2dBackInputOp) ValueSemantics() {}
+
 // conv2dBackFilterOp computes dL/dFilter; input 2 carries the filter for its
 // shape.
 type conv2dBackFilterOp struct{ params tensor.ConvParams }
@@ -128,3 +135,5 @@ func (o *conv2dBackFilterOp) InferShape(in [][]int) ([]int, error) { return in[2
 func (o *conv2dBackFilterOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Conv2DBackwardFilter(in[0], in[1], in[2].Shape(), o.params), nil
 }
+
+func (o *conv2dBackFilterOp) ValueSemantics() {}

@@ -8,10 +8,14 @@ import (
 
 // binOp is a broadcasting elementwise binary op. gradFn may be nil for
 // non-differentiable ops (comparisons); autodiff then treats the op as a
-// constant.
+// constant. flat, when set, is the same-shape flat kernel: it lets Eval skip
+// the broadcast machinery and allocate the output from the run's arena; the
+// loop body is identical to the tensor-package op's same-shape path, so both
+// paths are bit-for-bit equal.
 type binOp struct {
 	name   string
 	fn     func(a, b *tensor.Tensor) *tensor.Tensor
+	flat   func(dst, a, b []float64)
 	gradFn func(g *Graph, n *Node, gy *Node) []*Node
 }
 
@@ -22,7 +26,12 @@ func (o *binOp) InferShape(in [][]int) ([]int, error) {
 	}
 	return broadcastStatic(in[0], in[1])
 }
-func (o *binOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+func (o *binOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if o.flat != nil && tensor.SameShape(in[0].Shape(), in[1].Shape()) {
+		out := ctx.NewTensor(in[0].Shape()...)
+		o.flat(out.Data(), in[0].Data(), in[1].Data())
+		return out, nil
+	}
 	return o.fn(in[0], in[1]), nil
 }
 func (o *binOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
@@ -31,17 +40,27 @@ func (o *binOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	}
 	return o.gradFn(g, n, gy)
 }
+func (o *binOp) ValueSemantics() {}
 
-// unOp is an elementwise unary op.
+// unOp is an elementwise unary op. flat is the flat fast-path kernel (see
+// binOp); sval carries the compile-time scalar of parameterized ops (Scale,
+// AddScalar) so the plan compiler's fusion pass can extract it.
 type unOp struct {
 	name   string
 	fn     func(a *tensor.Tensor) *tensor.Tensor
+	flat   func(dst, a []float64)
+	sval   float64
 	gradFn func(g *Graph, n *Node, gy *Node) []*Node
 }
 
 func (o *unOp) Name() string                         { return o.name }
 func (o *unOp) InferShape(in [][]int) ([]int, error) { return in[0], nil }
-func (o *unOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+func (o *unOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if o.flat != nil {
+		out := ctx.NewTensor(in[0].Shape()...)
+		o.flat(out.Data(), in[0].Data())
+		return out, nil
+	}
 	return o.fn(in[0]), nil
 }
 func (o *unOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
@@ -50,10 +69,11 @@ func (o *unOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	}
 	return o.gradFn(g, n, gy)
 }
+func (o *unOp) ValueSemantics() {}
 
 // Add returns a+b with broadcasting.
 func Add(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Add", fn: tensor.Add,
+	return g.Add(&binOp{name: "Add", fn: tensor.Add, flat: tensor.AddFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{
 				UnbroadcastLike(g, gy, n.inputs[0]),
@@ -64,7 +84,7 @@ func Add(g *Graph, a, b *Node) *Node {
 
 // Sub returns a-b with broadcasting.
 func Sub(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Sub", fn: tensor.Sub,
+	return g.Add(&binOp{name: "Sub", fn: tensor.Sub, flat: tensor.SubFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{
 				UnbroadcastLike(g, gy, n.inputs[0]),
@@ -75,7 +95,7 @@ func Sub(g *Graph, a, b *Node) *Node {
 
 // Mul returns a*b elementwise with broadcasting.
 func Mul(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Mul", fn: tensor.Mul,
+	return g.Add(&binOp{name: "Mul", fn: tensor.Mul, flat: tensor.MulFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			a, b := n.inputs[0], n.inputs[1]
 			return []*Node{
@@ -87,7 +107,7 @@ func Mul(g *Graph, a, b *Node) *Node {
 
 // Div returns a/b elementwise with broadcasting.
 func Div(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Div", fn: tensor.Div,
+	return g.Add(&binOp{name: "Div", fn: tensor.Div, flat: tensor.DivFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			a, b := n.inputs[0], n.inputs[1]
 			da := Div(g, gy, b)
@@ -99,7 +119,7 @@ func Div(g *Graph, a, b *Node) *Node {
 // Maximum returns elementwise max(a,b) with subgradient routed to the larger
 // operand (ties go to a).
 func Maximum(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Maximum", fn: tensor.Maximum,
+	return g.Add(&binOp{name: "Maximum", fn: tensor.Maximum, flat: tensor.MaximumFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			a, b := n.inputs[0], n.inputs[1]
 			mask := GreaterEqual(g, a, b)
@@ -113,7 +133,7 @@ func Maximum(g *Graph, a, b *Node) *Node {
 // Minimum returns elementwise min(a,b) with subgradient to the smaller
 // operand (ties go to a).
 func Minimum(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Minimum", fn: tensor.Minimum,
+	return g.Add(&binOp{name: "Minimum", fn: tensor.Minimum, flat: tensor.MinimumFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			a, b := n.inputs[0], n.inputs[1]
 			mask := LessEqual(g, a, b)
@@ -126,7 +146,7 @@ func Minimum(g *Graph, a, b *Node) *Node {
 
 // GreaterEqual returns 1 where a>=b else 0 (non-differentiable).
 func GreaterEqual(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "GreaterEqual", fn: tensor.GreaterEqual}, a, b)
+	return g.Add(&binOp{name: "GreaterEqual", fn: tensor.GreaterEqual, flat: tensor.GreaterEqualFlat}, a, b)
 }
 
 // LessEqual returns 1 where a<=b else 0 (non-differentiable).
@@ -138,17 +158,17 @@ func LessEqual(g *Graph, a, b *Node) *Node {
 
 // Less returns 1 where a<b else 0 (non-differentiable).
 func Less(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Less", fn: tensor.Less}, a, b)
+	return g.Add(&binOp{name: "Less", fn: tensor.Less, flat: tensor.LessFlat}, a, b)
 }
 
 // EqualElems returns 1 where a==b else 0 (non-differentiable).
 func EqualElems(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "EqualElems", fn: tensor.EqualElems}, a, b)
+	return g.Add(&binOp{name: "EqualElems", fn: tensor.EqualElems, flat: tensor.EqualFlat}, a, b)
 }
 
 // Neg returns -x.
 func Neg(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Neg", fn: tensor.Neg,
+	return g.Add(&unOp{name: "Neg", fn: tensor.Neg, flat: tensor.NegFlat,
 		gradFn: func(g *Graph, _ *Node, gy *Node) []*Node {
 			return []*Node{Neg(g, gy)}
 		}}, x)
@@ -156,7 +176,7 @@ func Neg(g *Graph, x *Node) *Node {
 
 // Exp returns e**x.
 func Exp(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Exp", fn: tensor.Exp,
+	return g.Add(&unOp{name: "Exp", fn: tensor.Exp, flat: tensor.ExpFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, n)} // d exp = exp(x) = n's output
 		}}, x)
@@ -164,7 +184,7 @@ func Exp(g *Graph, x *Node) *Node {
 
 // Log returns ln(x).
 func Log(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Log", fn: tensor.Log,
+	return g.Add(&unOp{name: "Log", fn: tensor.Log, flat: tensor.LogFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Div(g, gy, n.inputs[0])}
 		}}, x)
@@ -172,7 +192,7 @@ func Log(g *Graph, x *Node) *Node {
 
 // Sqrt returns sqrt(x).
 func Sqrt(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Sqrt", fn: tensor.Sqrt,
+	return g.Add(&unOp{name: "Sqrt", fn: tensor.Sqrt, flat: tensor.SqrtFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Div(g, gy, Scale(g, n, 2))}
 		}}, x)
@@ -180,7 +200,7 @@ func Sqrt(g *Graph, x *Node) *Node {
 
 // Square returns x*x.
 func Square(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Square", fn: tensor.Square,
+	return g.Add(&unOp{name: "Square", fn: tensor.Square, flat: tensor.SquareFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, Scale(g, n.inputs[0], 2))}
 		}}, x)
@@ -188,7 +208,7 @@ func Square(g *Graph, x *Node) *Node {
 
 // Abs returns |x| with subgradient sign(x).
 func Abs(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Abs", fn: tensor.Abs,
+	return g.Add(&unOp{name: "Abs", fn: tensor.Abs, flat: tensor.AbsFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, Sign(g, n.inputs[0]))}
 		}}, x)
@@ -204,16 +224,16 @@ func Sign(g *Graph, x *Node) *Node {
 
 // Relu returns max(x,0).
 func Relu(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Relu", fn: tensor.Relu,
+	return g.Add(&unOp{name: "Relu", fn: tensor.Relu, flat: tensor.ReluFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
-			mask := g.Add(&unOp{name: "ReluMask", fn: tensor.ReluGrad}, n.inputs[0])
+			mask := g.Add(&unOp{name: "ReluMask", fn: tensor.ReluGrad, flat: tensor.ReluGradFlat}, n.inputs[0])
 			return []*Node{Mul(g, gy, mask)}
 		}}, x)
 }
 
 // Tanh returns tanh(x).
 func Tanh(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Tanh", fn: tensor.Tanh,
+	return g.Add(&unOp{name: "Tanh", fn: tensor.Tanh, flat: tensor.TanhFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, OneMinus(g, Mul(g, n, n)))}
 		}}, x)
@@ -221,7 +241,7 @@ func Tanh(g *Graph, x *Node) *Node {
 
 // Sigmoid returns 1/(1+e^-x).
 func Sigmoid(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Sigmoid", fn: tensor.Sigmoid,
+	return g.Add(&unOp{name: "Sigmoid", fn: tensor.Sigmoid, flat: tensor.SigmoidFlat,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, Mul(g, n, OneMinus(g, n)))}
 		}}, x)
@@ -233,6 +253,7 @@ func OneMinus(g *Graph, x *Node) *Node {
 		fn: func(a *tensor.Tensor) *tensor.Tensor {
 			return tensor.AddScalar(tensor.Neg(a), 1)
 		},
+		flat: tensor.OneMinusFlat,
 		gradFn: func(g *Graph, _ *Node, gy *Node) []*Node {
 			return []*Node{Neg(g, gy)}
 		}}, x)
@@ -240,8 +261,9 @@ func OneMinus(g *Graph, x *Node) *Node {
 
 // Scale returns x*s for a compile-time scalar s.
 func Scale(g *Graph, x *Node, s float64) *Node {
-	return g.Add(&unOp{name: "Scale",
-		fn: func(a *tensor.Tensor) *tensor.Tensor { return tensor.Scale(a, s) },
+	return g.Add(&unOp{name: "Scale", sval: s,
+		fn:   func(a *tensor.Tensor) *tensor.Tensor { return tensor.Scale(a, s) },
+		flat: func(dst, a []float64) { tensor.ScaleFlat(dst, a, s) },
 		gradFn: func(g *Graph, _ *Node, gy *Node) []*Node {
 			return []*Node{Scale(g, gy, s)}
 		}}, x)
@@ -249,8 +271,9 @@ func Scale(g *Graph, x *Node, s float64) *Node {
 
 // AddScalar returns x+s for a compile-time scalar s.
 func AddScalar(g *Graph, x *Node, s float64) *Node {
-	return g.Add(&unOp{name: "AddScalar",
-		fn: func(a *tensor.Tensor) *tensor.Tensor { return tensor.AddScalar(a, s) },
+	return g.Add(&unOp{name: "AddScalar", sval: s,
+		fn:   func(a *tensor.Tensor) *tensor.Tensor { return tensor.AddScalar(a, s) },
+		flat: func(dst, a []float64) { tensor.AddScalarFlat(dst, a, s) },
 		gradFn: func(g *Graph, _ *Node, gy *Node) []*Node {
 			return []*Node{gy}
 		}}, x)
@@ -259,7 +282,8 @@ func AddScalar(g *Graph, x *Node, s float64) *Node {
 // Clip limits x to [lo,hi] with a pass-through subgradient inside the range.
 func Clip(g *Graph, x *Node, lo, hi float64) *Node {
 	return g.Add(&unOp{name: "Clip",
-		fn: func(a *tensor.Tensor) *tensor.Tensor { return tensor.Clip(a, lo, hi) },
+		fn:   func(a *tensor.Tensor) *tensor.Tensor { return tensor.Clip(a, lo, hi) },
+		flat: func(dst, a []float64) { tensor.ClipFlat(dst, a, lo, hi) },
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			inRange := g.Add(&unOp{name: "ClipMask", fn: func(a *tensor.Tensor) *tensor.Tensor {
 				return tensor.Mul(tensor.GreaterEqual(a, tensor.Scalar(lo)),
@@ -284,6 +308,7 @@ func (whereOp) InferShape(in [][]int) ([]int, error) {
 func (whereOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Where(in[0], in[1], in[2]), nil
 }
+func (whereOp) ValueSemantics() {}
 func (whereOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	cond, a, b := n.inputs[0], n.inputs[1], n.inputs[2]
 	zero := ZerosLike(g, gy)

@@ -31,6 +31,8 @@ func (o *sumOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	return []*Node{grad}
 }
 
+func (o *sumOp) ValueSemantics() {}
+
 // Sum adds a full reduction to a scalar.
 func Sum(g *Graph, x *Node) *Node { return g.Add(&sumOp{}, x) }
 
@@ -82,6 +84,8 @@ func (o *axisReduceOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, err
 	return nil, fmt.Errorf("unknown reduce kind %q", o.kind)
 }
 
+func (o *axisReduceOp) ValueSemantics() {}
+
 func (o *axisReduceOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	x := n.inputs[0]
 	switch o.kind {
@@ -126,6 +130,8 @@ func (o *axisReduceGradOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor,
 	return out, nil
 }
 
+func (o *axisReduceGradOp) ValueSemantics() {}
+
 // SumAxis adds a single-axis sum.
 func SumAxis(g *Graph, x *Node, axis int, keepDims bool) *Node {
 	return g.Add(&axisReduceOp{kind: "sum", axis: axis, keepDims: keepDims}, x)
@@ -168,6 +174,8 @@ func (o *argmaxOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) 
 	return tensor.ArgMaxAxis(in[0], o.axis), nil
 }
 
+func (o *argmaxOp) ValueSemantics() {}
+
 // ArgMaxAxis adds an index-of-max reduction (non-differentiable).
 func ArgMaxAxis(g *Graph, x *Node, axis int) *Node { return g.Add(&argmaxOp{axis: axis}, x) }
 
@@ -184,6 +192,8 @@ func (softmaxOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	inner := SumAxis(g, Mul(g, gy, n), -1, true)
 	return []*Node{Mul(g, n, Sub(g, gy, inner))}
 }
+
+func (softmaxOp) ValueSemantics() {}
 
 // Softmax adds a last-axis softmax.
 func Softmax(g *Graph, x *Node) *Node { return g.Add(softmaxOp{}, x) }
@@ -202,6 +212,8 @@ func (logSoftmaxOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	inner := SumAxis(g, gy, -1, true)
 	return []*Node{Sub(g, gy, Mul(g, sm, inner))}
 }
+
+func (logSoftmaxOp) ValueSemantics() {}
 
 // LogSoftmax adds a last-axis log-softmax.
 func LogSoftmax(g *Graph, x *Node) *Node { return g.Add(logSoftmaxOp{}, x) }

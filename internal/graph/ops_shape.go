@@ -83,6 +83,8 @@ func (o *concatOp) InferShape(in [][]int) ([]int, error) {
 func (o *concatOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Concat(o.axis, in...), nil
 }
+func (o *concatOp) ValueSemantics() {}
+
 func (o *concatOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	out := make([]*Node, len(n.inputs))
 	for i := range n.inputs {
@@ -117,6 +119,8 @@ func (o *concatGradOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, err
 	return parts[o.index], nil
 }
 
+func (o *concatGradOp) ValueSemantics() {}
+
 // Concat adds a concatenation node along axis.
 func Concat(g *Graph, axis int, xs ...*Node) *Node {
 	ns := make([]*Node, len(xs))
@@ -138,6 +142,8 @@ func (takeAlongLastOp) InferShape(in [][]int) ([]int, error) {
 func (takeAlongLastOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.TakeAlongLastAxis(in[0], in[1]), nil
 }
+func (takeAlongLastOp) ValueSemantics() {}
+
 func (takeAlongLastOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	dx := g.Add(takeAlongLastGradOp{}, gy, n.inputs[0], n.inputs[1])
 	return []*Node{dx, nil}
@@ -151,6 +157,8 @@ func (takeAlongLastGradOp) InferShape(in [][]int) ([]int, error) { return in[1],
 func (takeAlongLastGradOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.PutAlongLastAxis(in[1].Shape(), in[2], in[0]), nil
 }
+
+func (takeAlongLastGradOp) ValueSemantics() {}
 
 // TakeAlongLastAxis adds out[i] = x[i, idx[i]] (the Q(s,a) selection in the
 // DQN loss). Gradients flow into x only.
@@ -172,6 +180,8 @@ func (gatherRowsOp) InferShape(in [][]int) ([]int, error) {
 func (gatherRowsOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.GatherRows(in[0], in[1]), nil
 }
+func (gatherRowsOp) ValueSemantics() {}
+
 func (gatherRowsOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	dt := g.Add(gatherRowsGradOp{}, gy, n.inputs[0], n.inputs[1])
 	return []*Node{dt, nil}
@@ -187,6 +197,8 @@ func (gatherRowsGradOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, er
 	tensor.ScatterAddRows(out, in[0], in[2])
 	return out, nil
 }
+
+func (gatherRowsGradOp) ValueSemantics() {}
 
 // GatherRows adds a row-gather (embedding lookup) node.
 func GatherRows(g *Graph, table, idx *Node) *Node {
@@ -206,6 +218,8 @@ func (o *oneHotOp) InferShape(in [][]int) ([]int, error) {
 func (o *oneHotOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.OneHot(in[0], o.depth), nil
 }
+
+func (o *oneHotOp) ValueSemantics() {}
 
 // OneHot adds a one-hot encoding node.
 func OneHot(g *Graph, idx *Node, depth int) *Node { return g.Add(&oneHotOp{depth: depth}, idx) }
@@ -235,6 +249,8 @@ func (o *transposeOp) InferShape(in [][]int) ([]int, error) {
 func (o *transposeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.Transpose(in[0], o.perm...), nil
 }
+func (o *transposeOp) ValueSemantics() {}
+
 func (o *transposeOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	r := len(n.inputs[0].shape)
 	perm := o.perm
@@ -272,6 +288,8 @@ func (o *sliceColsOp) InferShape(in [][]int) ([]int, error) {
 func (o *sliceColsOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.SliceCols(in[0], o.lo, o.hi), nil
 }
+func (o *sliceColsOp) ValueSemantics() {}
+
 func (o *sliceColsOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	return []*Node{g.Add(&padColsGradOp{lo: o.lo}, gy, n.inputs[0])}
 }
@@ -285,6 +303,8 @@ func (o *padColsGradOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, er
 	total := in[1].Dim(in[1].Rank() - 1)
 	return tensor.PadCols(in[0], o.lo, total), nil
 }
+
+func (o *padColsGradOp) ValueSemantics() {}
 
 // SliceCols adds a last-axis column slice [lo, hi).
 func SliceCols(g *Graph, x *Node, lo, hi int) *Node {
@@ -306,6 +326,8 @@ func (o *shardRowsOp) InferShape(in [][]int) ([]int, error) {
 func (o *shardRowsOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.ShardRows(in[0], o.i, o.k), nil
 }
+func (o *shardRowsOp) ValueSemantics() {}
+
 func (o *shardRowsOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	return []*Node{g.Add(&shardRowsGradOp{i: o.i, k: o.k}, gy, n.inputs[0])}
 }
@@ -318,6 +340,8 @@ func (o *shardRowsGradOp) InferShape(in [][]int) ([]int, error) { return in[1], 
 func (o *shardRowsGradOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return tensor.PadRowsShard(in[0], o.i, o.k, in[1].Dim(0)), nil
 }
+
+func (o *shardRowsGradOp) ValueSemantics() {}
 
 // ShardRows adds a leading-axis batch shard (tower input splitting in the
 // synchronous multi-GPU strategy).

@@ -23,7 +23,8 @@ type StatefulOp interface {
 }
 
 // step is one compiled op evaluation: the node, its output value slot, and
-// the range of input slots in Plan.insSlots.
+// the range of input slots in Plan.insSlots. Steps produced by the fusion
+// pass carry a specialized evaluator and the list of absorbed nodes.
 type step struct {
 	node     *Node
 	out      int32 // output value slot
@@ -31,7 +32,14 @@ type step struct {
 	insLen   int32
 	schedDev int32 // index into Plan.schedDevices; -1 = unconstrained
 	statDev  int32 // index into Plan.statDevices (always valid)
+
+	eval  stepEval // non-nil on fused steps; overrides node.op.Eval
+	fused []*Node  // producer nodes absorbed into this step (see fuse.go)
 }
+
+// evals returns how many op evaluations this step represents (itself plus any
+// absorbed producers), keeping profiling counters fusion-independent.
+func (st *step) evals() int64 { return int64(1 + len(st.fused)) }
 
 // feedBind records a slot that must be populated from the feed dict.
 type feedBind struct {
@@ -68,6 +76,13 @@ type Plan struct {
 	statDevices  []string
 	schedDevices []string
 
+	// release[i] lists value slots whose tensors may be returned to the
+	// session's buffer arena after step i completes: the slot's producer and
+	// all its consumers have value semantics, it is not fetched or fed, and
+	// step i is its last use. Only the serial executor releases (step order
+	// equals completion order there).
+	release [][]int32
+
 	scratch sync.Pool
 }
 
@@ -85,9 +100,11 @@ type planScratch struct {
 }
 
 // planKey builds the cache key for a fetch-set under a feed-key-set: fetch
-// ids in order, then fed node ids sorted. Plans depend on the feed keys
-// because fed nodes are sources — their subgraphs are pruned from the plan.
-func planKey(g *Graph, fetches []*Node, feeds Feeds) string {
+// ids in order, then fed node ids sorted, then the fusion flag (fused and
+// unfused compilations of the same fetch-set are distinct plans). Plans
+// depend on the feed keys because fed nodes are sources — their subgraphs are
+// pruned from the plan.
+func planKey(g *Graph, fetches []*Node, feeds Feeds, fuse bool) string {
 	b := make([]byte, 0, 8*(len(fetches)+len(feeds)))
 	for _, f := range fetches {
 		b = strconv.AppendInt(b, int64(f.id), 36)
@@ -107,6 +124,9 @@ func planKey(g *Graph, fetches []*Node, feeds Feeds) string {
 			b = append(b, ',')
 		}
 	}
+	if fuse {
+		b = append(b, '|', 'F')
+	}
 	return string(b)
 }
 
@@ -118,17 +138,18 @@ const (
 
 // compilePlan topologically sorts the transitive closure of fetches via an
 // iterative DFS that mirrors the recursive evaluator's visit order (control
-// deps before inputs, both in declaration order), assigns value slots, and
-// precomputes the parallel-scheduler edge lists. Fed nodes become sources:
-// they get slots but no steps, and their subgraphs are not visited.
-func compilePlan(g *Graph, fetches []*Node, fed map[*Node]bool) (*Plan, error) {
+// deps before inputs, both in declaration order), assigns value slots, runs
+// the elementwise fusion pass (when fuse is set), and precomputes the
+// parallel-scheduler edge lists plus the buffer-release schedule. Fed nodes
+// become sources: they get slots but no steps, and their subgraphs are not
+// visited.
+func compilePlan(g *Graph, fetches []*Node, fed map[*Node]bool, fuse bool) (*Plan, error) {
 	p := &Plan{
 		g:        g,
 		feedSlot: make(map[*Node]int32),
 		slotOf:   make(map[*Node]int32),
 	}
 	state := make([]uint8, g.NumNodes())
-	stepIdxOf := make(map[*Node]int32)
 	statDevIdx := map[string]int32{}
 	schedDevIdx := map[string]int32{}
 	nextSlot := int32(0)
@@ -168,7 +189,6 @@ func compilePlan(g *Graph, fetches []*Node, fed map[*Node]bool) (*Plan, error) {
 			}
 			schedDev = d
 		}
-		stepIdxOf[n] = int32(len(p.steps))
 		p.steps = append(p.steps, step{
 			node: n, out: out,
 			insOff: insOff, insLen: int32(len(n.inputs)),
@@ -242,10 +262,29 @@ func compilePlan(g *Graph, fetches []*Node, fed map[*Node]bool) (*Plan, error) {
 	}
 	p.nslots = int(nextSlot)
 
-	// Parallel edges: unique predecessor lists over inputs and control deps,
-	// plus a chain through all stateful steps in serial order.
+	if fuse {
+		p.fuseSteps()
+	}
+
+	// Map every evaluated node — including producers absorbed into fused
+	// steps — to the step that computes it, for scheduler edges and liveness.
+	nodeStep := make(map[*Node]int32, len(p.steps))
+	for i := range p.steps {
+		nodeStep[p.steps[i].node] = int32(i)
+		for _, c := range p.steps[i].fused {
+			nodeStep[c] = int32(i)
+		}
+	}
+
+	// Parallel edges: unique predecessor lists over inputs and control deps
+	// (of the step's node and any absorbed nodes), plus a chain through all
+	// stateful steps in serial order. Fusion only touches pure elementwise
+	// steps, so the stateful chain is unaffected by it.
 	preds := make([][]int32, len(p.steps))
 	addPred := func(i int, si int32) {
+		if si == int32(i) {
+			return
+		}
 		for _, e := range preds[i] {
 			if e == si {
 				return
@@ -254,15 +293,21 @@ func compilePlan(g *Graph, fetches []*Node, fed map[*Node]bool) (*Plan, error) {
 		preds[i] = append(preds[i], si)
 	}
 	for i := range p.steps {
-		n := p.steps[i].node
-		for _, d := range n.deps {
-			if si, ok := stepIdxOf[d]; ok {
-				addPred(i, si)
+		members := p.steps[i].fused
+		for m := -1; m < len(members); m++ {
+			n := p.steps[i].node
+			if m >= 0 {
+				n = members[m]
 			}
-		}
-		for _, in := range n.inputs {
-			if si, ok := stepIdxOf[in]; ok {
-				addPred(i, si)
+			for _, d := range n.deps {
+				if si, ok := nodeStep[d]; ok {
+					addPred(i, si)
+				}
+			}
+			for _, in := range n.inputs {
+				if si, ok := nodeStep[in]; ok {
+					addPred(i, si)
+				}
 			}
 		}
 	}
@@ -284,6 +329,8 @@ func compilePlan(g *Graph, fetches []*Node, fed map[*Node]bool) (*Plan, error) {
 		}
 	}
 
+	p.computeRelease()
+
 	nslots, insTotal, nsteps := p.nslots, len(p.insSlots), len(p.steps)
 	p.scratch.New = func() any {
 		return &planScratch{
@@ -293,6 +340,65 @@ func compilePlan(g *Graph, fetches []*Node, fed map[*Node]bool) (*Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// computeRelease runs last-use liveness over the value slots and fills
+// p.release. A slot's tensor may be recycled after its last reading step iff:
+//
+//   - it is produced by a step whose op has value semantics (fresh, unaliased
+//     output) — fused steps qualify by construction;
+//   - every consumer has value semantics too (no consumer aliases or retains
+//     the tensor past its own Eval);
+//   - it is neither fetched (returned to the caller) nor fed (owned by the
+//     caller).
+//
+// Slots with a value-semantics producer and no consumers (control-dependency
+// targets whose results are discarded) release immediately after their
+// producing step.
+func (p *Plan) computeRelease() {
+	vs := make([]bool, len(p.steps))
+	for i := range p.steps {
+		if p.steps[i].eval != nil {
+			vs[i] = true
+			continue
+		}
+		_, vs[i] = p.steps[i].node.op.(ValueSemanticsOp)
+	}
+	producer := make([]int32, p.nslots)
+	releasable := make([]bool, p.nslots)
+	last := make([]int32, p.nslots)
+	for s := range producer {
+		producer[s] = -1
+	}
+	for i := range p.steps {
+		st := &p.steps[i]
+		producer[st.out] = int32(i)
+		releasable[st.out] = vs[i]
+		last[st.out] = int32(i)
+	}
+	for i := range p.steps {
+		st := &p.steps[i]
+		for _, s := range p.insSlots[st.insOff : st.insOff+st.insLen] {
+			if !vs[i] {
+				releasable[s] = false
+			}
+			if int32(i) > last[s] {
+				last[s] = int32(i)
+			}
+		}
+	}
+	for _, s := range p.fetchSlots {
+		releasable[s] = false
+	}
+	for _, fb := range p.feeds {
+		releasable[fb.slot] = false
+	}
+	p.release = make([][]int32, len(p.steps))
+	for s := 0; s < p.nslots; s++ {
+		if producer[s] >= 0 && releasable[s] {
+			p.release[last[s]] = append(p.release[last[s]], int32(s))
+		}
+	}
 }
 
 // runPlan executes a compiled plan under the session's parallelism setting,
@@ -340,7 +446,11 @@ func (s *Session) runPlan(p *Plan, feeds Feeds) ([]*tensor.Tensor, error) {
 	if workers := int(s.parallelism.Load()); workers > 1 && len(p.steps) > 1 {
 		evaluated, runErr = p.execParallel(sc, devCounts, workers, s.deviceLimitsRef())
 	} else {
-		evaluated, runErr = p.execSerial(sc, devCounts)
+		var arena *tensor.Arena
+		if s.bufferReuse.Load() {
+			arena = s.arena
+		}
+		evaluated, runErr = p.execSerial(sc, devCounts, arena)
 	}
 
 	s.nodesEvaluated.Add(evaluated)
@@ -363,8 +473,10 @@ func (s *Session) runPlan(p *Plan, feeds Feeds) ([]*tensor.Tensor, error) {
 }
 
 // execSerial runs the step list in compiled (recursive-equivalent) order.
-func (p *Plan) execSerial(sc *planScratch, devCounts []int64) (int64, error) {
-	ctx := &RunCtx{}
+// With a non-nil arena, intermediates scheduled by the liveness analysis are
+// recycled as soon as their last consumer has run.
+func (p *Plan) execSerial(sc *planScratch, devCounts []int64, arena *tensor.Arena) (int64, error) {
+	ctx := &RunCtx{arena: arena}
 	values := sc.values
 	var evaluated int64
 	for i := range p.steps {
@@ -373,13 +485,27 @@ func (p *Plan) execSerial(sc *planScratch, devCounts []int64) (int64, error) {
 		for k, slot := range p.insSlots[st.insOff : st.insOff+st.insLen] {
 			ins[k] = values[slot]
 		}
-		v, err := st.node.op.Eval(ctx, ins)
+		var v *tensor.Tensor
+		var err error
+		if st.eval != nil {
+			v, err = st.eval(ctx, ins)
+		} else {
+			v, err = st.node.op.Eval(ctx, ins)
+		}
 		if err != nil {
 			return evaluated, fmt.Errorf("graph: evaluating %v: %w", st.node, err)
 		}
-		evaluated++
-		devCounts[st.statDev]++
+		evaluated += st.evals()
+		devCounts[st.statDev] += st.evals()
 		values[st.out] = v
+		if arena != nil {
+			for _, slot := range p.release[i] {
+				if t := values[slot]; t != nil {
+					values[slot] = nil
+					arena.Put(t)
+				}
+			}
+		}
 	}
 	return evaluated, nil
 }
@@ -456,7 +582,13 @@ func (p *Plan) execParallel(sc *planScratch, devCounts []int64, workers int, lim
 						return
 					}
 				}
-				v, err := st.node.op.Eval(ctx, ins)
+				var v *tensor.Tensor
+				var err error
+				if st.eval != nil {
+					v, err = st.eval(ctx, ins)
+				} else {
+					v, err = st.node.op.Eval(ctx, ins)
+				}
 				if st.schedDev >= 0 {
 					<-sems[st.schedDev]
 				}
@@ -465,8 +597,8 @@ func (p *Plan) execParallel(sc *planScratch, devCounts []int64, workers int, lim
 					return
 				}
 				values[st.out] = v
-				atomic.AddInt64(&evaluated, 1)
-				atomic.AddInt64(&devCounts[st.statDev], 1)
+				atomic.AddInt64(&evaluated, st.evals())
+				atomic.AddInt64(&devCounts[st.statDev], st.evals())
 				for _, succ := range p.succ[i] {
 					if atomic.AddInt32(&indeg[succ], -1) == 0 {
 						ready <- succ

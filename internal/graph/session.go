@@ -29,6 +29,14 @@ type Session struct {
 	// parallelism is the worker count for plan execution (<=1 = serial).
 	parallelism atomic.Int32
 
+	// fusion enables the plan compiler's elementwise fusion pass; bufferReuse
+	// lets the serial executor recycle intermediate buffers through arena.
+	// Both default to on and preserve bit-for-bit results (see fuse.go and
+	// Plan.computeRelease).
+	fusion      atomic.Bool
+	bufferReuse atomic.Bool
+	arena       *tensor.Arena
+
 	runCount       atomic.Int64
 	nodesEvaluated atomic.Int64
 
@@ -42,11 +50,15 @@ type Session struct {
 
 // NewSession returns a session for g.
 func NewSession(g *Graph) *Session {
-	return &Session{
+	s := &Session{
 		g:               g,
+		arena:           tensor.NewArena(),
 		deviceNodeCount: make(map[string]int),
 		plans:           make(map[string]*Plan),
 	}
+	s.fusion.Store(true)
+	s.bufferReuse.Store(true)
+	return s
 }
 
 // Graph returns the session's graph.
@@ -62,6 +74,28 @@ func (s *Session) SetParallelism(n int) { s.parallelism.Store(int32(n)) }
 
 // Parallelism returns the current worker count.
 func (s *Session) Parallelism() int { return int(s.parallelism.Load()) }
+
+// SetFusion toggles the plan compiler's elementwise fusion pass (default on).
+// Fused and unfused plans are cached under distinct keys, so toggling only
+// affects which compilation subsequent Runs select; results are bit-for-bit
+// identical either way. Plans obtained from Compile retain the setting they
+// were compiled with.
+func (s *Session) SetFusion(on bool) { s.fusion.Store(on) }
+
+// Fusion reports whether plan compilation fuses elementwise chains.
+func (s *Session) Fusion() bool { return s.fusion.Load() }
+
+// SetBufferReuse toggles arena recycling of intermediate buffers in the
+// serial executor (default on). It is a pure runtime switch — plans are
+// unaffected — and results are bit-for-bit identical either way.
+func (s *Session) SetBufferReuse(on bool) { s.bufferReuse.Store(on) }
+
+// BufferReuse reports whether the serial executor recycles intermediates.
+func (s *Session) BufferReuse() bool { return s.bufferReuse.Load() }
+
+// ArenaStats reports the session arena's (allocations served, pool hits)
+// counters — the benchmark hook for verifying plan-level buffer reuse.
+func (s *Session) ArenaStats() (gets, hits int64) { return s.arena.Stats() }
 
 // SetDeviceLimits sets per-device op-stream limits for the parallel
 // scheduler: at most limits[name] steps assigned to device name execute
@@ -162,7 +196,8 @@ func (s *Session) RunCompiled(p *Plan, feeds Feeds) ([]*tensor.Tensor, error) {
 // planFor returns the cached plan for (fetches, feed keys), compiling it on
 // first use.
 func (s *Session) planFor(fetches []*Node, feeds Feeds) (*Plan, error) {
-	key := planKey(s.g, fetches, feeds)
+	fuse := s.fusion.Load()
+	key := planKey(s.g, fetches, feeds, fuse)
 	s.planMu.RLock()
 	p := s.plans[key]
 	s.planMu.RUnlock()
@@ -173,7 +208,7 @@ func (s *Session) planFor(fetches []*Node, feeds Feeds) (*Plan, error) {
 	for n := range feeds {
 		fed[n] = true
 	}
-	p, err := compilePlan(s.g, fetches, fed)
+	p, err := compilePlan(s.g, fetches, fed, fuse)
 	if err != nil {
 		return nil, err
 	}

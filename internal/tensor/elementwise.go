@@ -85,7 +85,10 @@ func (bi broadcastIndexer) forEach(fn func(outIdx, srcIdx int)) {
 	}
 }
 
-// binary applies fn elementwise with broadcasting.
+// binary applies fn elementwise with broadcasting. The hot named ops below
+// bypass this for the contiguous same-shape case with flat kernels that pay
+// no per-element closure call; this generic path remains the broadcast
+// reference.
 func binary(a, b *Tensor, fn func(x, y float64) float64) *Tensor {
 	if SameShape(a.shape, b.shape) {
 		out := New(a.shape...)
@@ -108,29 +111,284 @@ func binary(a, b *Tensor, fn func(x, y float64) float64) *Tensor {
 	return out
 }
 
+// Flat kernels: contiguous same-length loops with no closure in the inner
+// loop. The graph executor calls these directly (through the op tables in
+// internal/graph) so the hot elementwise path is one function call per
+// tensor, not one per element. dst may be freshly allocated (all elements
+// are overwritten). Each kernel computes exactly the expression the generic
+// path computes, in the same operand order, so results are bit-identical.
+
+// AddFlat sets dst[i] = a[i] + b[i].
+func AddFlat(dst, a, b []float64) {
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubFlat sets dst[i] = a[i] - b[i].
+func SubFlat(dst, a, b []float64) {
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// MulFlat sets dst[i] = a[i] * b[i].
+func MulFlat(dst, a, b []float64) {
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// DivFlat sets dst[i] = a[i] / b[i].
+func DivFlat(dst, a, b []float64) {
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		dst[i] = a[i] / b[i]
+	}
+}
+
+// MaximumFlat sets dst[i] = math.Max(a[i], b[i]).
+func MaximumFlat(dst, a, b []float64) {
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Max(a[i], b[i])
+	}
+}
+
+// MinimumFlat sets dst[i] = math.Min(a[i], b[i]).
+func MinimumFlat(dst, a, b []float64) {
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Min(a[i], b[i])
+	}
+}
+
+// GreaterEqualFlat sets dst[i] = 1 where a[i] >= b[i] else 0.
+func GreaterEqualFlat(dst, a, b []float64) {
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		if a[i] >= b[i] {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// LessFlat sets dst[i] = 1 where a[i] < b[i] else 0.
+func LessFlat(dst, a, b []float64) {
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		if a[i] < b[i] {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// EqualFlat sets dst[i] = 1 where a[i] == b[i] else 0.
+func EqualFlat(dst, a, b []float64) {
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		if a[i] == b[i] {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// NegFlat sets dst[i] = -a[i].
+func NegFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = -a[i]
+	}
+}
+
+// ExpFlat sets dst[i] = e**a[i].
+func ExpFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Exp(a[i])
+	}
+}
+
+// LogFlat sets dst[i] = ln(a[i]).
+func LogFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Log(a[i])
+	}
+}
+
+// SqrtFlat sets dst[i] = sqrt(a[i]).
+func SqrtFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Sqrt(a[i])
+	}
+}
+
+// SquareFlat sets dst[i] = a[i]*a[i].
+func SquareFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = a[i] * a[i]
+	}
+}
+
+// AbsFlat sets dst[i] = |a[i]|.
+func AbsFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Abs(a[i])
+	}
+}
+
+// ReluFlat sets dst[i] = math.Max(a[i], 0).
+func ReluFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Max(a[i], 0)
+	}
+}
+
+// ReluGradFlat sets dst[i] = 1 where a[i] > 0 else 0.
+func ReluGradFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		if a[i] > 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// TanhFlat sets dst[i] = tanh(a[i]).
+func TanhFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Tanh(a[i])
+	}
+}
+
+// SigmoidFlat sets dst[i] = sigmoid(a[i]) via sigmoidPoint.
+func SigmoidFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = sigmoidPoint(a[i])
+	}
+}
+
+// OneMinusFlat sets dst[i] = (-a[i]) + 1 — the exact expression of the
+// composed OneMinus op (AddScalar(Neg(a), 1)).
+func OneMinusFlat(dst, a []float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = -a[i] + 1
+	}
+}
+
+// ScaleFlat sets dst[i] = a[i] * s.
+func ScaleFlat(dst, a []float64, s float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = a[i] * s
+	}
+}
+
+// AddScalarFlat sets dst[i] = a[i] + s.
+func AddScalarFlat(dst, a []float64, s float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = a[i] + s
+	}
+}
+
+// ClipFlat sets dst[i] = math.Max(lo, math.Min(hi, a[i])).
+func ClipFlat(dst, a []float64, lo, hi float64) {
+	a = a[:len(dst)]
+	for i := range dst {
+		dst[i] = math.Max(lo, math.Min(hi, a[i]))
+	}
+}
+
 // Add returns a + b with broadcasting.
-func Add(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x + y }) }
+func Add(a, b *Tensor) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		AddFlat(out.data, a.data, b.data)
+		return out
+	}
+	return binary(a, b, func(x, y float64) float64 { return x + y })
+}
 
 // Sub returns a - b with broadcasting.
-func Sub(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x - y }) }
+func Sub(a, b *Tensor) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		SubFlat(out.data, a.data, b.data)
+		return out
+	}
+	return binary(a, b, func(x, y float64) float64 { return x - y })
+}
 
 // Mul returns a * b elementwise with broadcasting.
-func Mul(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x * y }) }
+func Mul(a, b *Tensor) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		MulFlat(out.data, a.data, b.data)
+		return out
+	}
+	return binary(a, b, func(x, y float64) float64 { return x * y })
+}
 
 // Div returns a / b elementwise with broadcasting.
-func Div(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x / y }) }
+func Div(a, b *Tensor) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		DivFlat(out.data, a.data, b.data)
+		return out
+	}
+	return binary(a, b, func(x, y float64) float64 { return x / y })
+}
 
 // Pow returns a ** b elementwise with broadcasting.
 func Pow(a, b *Tensor) *Tensor { return binary(a, b, math.Pow) }
 
 // Maximum returns the elementwise max with broadcasting.
-func Maximum(a, b *Tensor) *Tensor { return binary(a, b, math.Max) }
+func Maximum(a, b *Tensor) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		MaximumFlat(out.data, a.data, b.data)
+		return out
+	}
+	return binary(a, b, math.Max)
+}
 
 // Minimum returns the elementwise min with broadcasting.
-func Minimum(a, b *Tensor) *Tensor { return binary(a, b, math.Min) }
+func Minimum(a, b *Tensor) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		MinimumFlat(out.data, a.data, b.data)
+		return out
+	}
+	return binary(a, b, math.Min)
+}
 
 // GreaterEqual returns 1 where a >= b else 0, with broadcasting.
 func GreaterEqual(a, b *Tensor) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		GreaterEqualFlat(out.data, a.data, b.data)
+		return out
+	}
 	return binary(a, b, func(x, y float64) float64 {
 		if x >= y {
 			return 1
@@ -141,6 +399,11 @@ func GreaterEqual(a, b *Tensor) *Tensor {
 
 // Less returns 1 where a < b else 0, with broadcasting.
 func Less(a, b *Tensor) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		LessFlat(out.data, a.data, b.data)
+		return out
+	}
 	return binary(a, b, func(x, y float64) float64 {
 		if x < y {
 			return 1
@@ -151,6 +414,11 @@ func Less(a, b *Tensor) *Tensor {
 
 // EqualElems returns 1 where a == b else 0, with broadcasting.
 func EqualElems(a, b *Tensor) *Tensor {
+	if SameShape(a.shape, b.shape) {
+		out := New(a.shape...)
+		EqualFlat(out.data, a.data, b.data)
+		return out
+	}
 	return binary(a, b, func(x, y float64) float64 {
 		if x == y {
 			return 1
@@ -171,6 +439,17 @@ func Where(cond, a, b *Tensor) *Tensor {
 		panic(err)
 	}
 	out := New(shape...)
+	if SameShape(cond.shape, shape) && SameShape(a.shape, shape) && SameShape(b.shape, shape) {
+		cd, ad, bd := cond.data, a.data, b.data
+		for i := range out.data {
+			if cd[i] != 0 {
+				out.data[i] = ad[i]
+			} else {
+				out.data[i] = bd[i]
+			}
+		}
+		return out
+	}
 	coff := make([]int, out.Size())
 	aoff := make([]int, out.Size())
 	newBroadcastIndexer(cond.shape, shape).forEach(func(o, s int) { coff[o] = s })
@@ -185,67 +464,109 @@ func Where(cond, a, b *Tensor) *Tensor {
 	return out
 }
 
-// unary applies fn to every element.
-func unary(a *Tensor, fn func(x float64) float64) *Tensor {
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor {
 	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = fn(a.data[i])
-	}
+	NegFlat(out.data, a.data)
 	return out
 }
 
-// Neg returns -a.
-func Neg(a *Tensor) *Tensor { return unary(a, func(x float64) float64 { return -x }) }
-
 // Abs returns |a|.
-func Abs(a *Tensor) *Tensor { return unary(a, math.Abs) }
+func Abs(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	AbsFlat(out.data, a.data)
+	return out
+}
 
 // Exp returns e**a elementwise.
-func Exp(a *Tensor) *Tensor { return unary(a, math.Exp) }
+func Exp(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	ExpFlat(out.data, a.data)
+	return out
+}
 
 // Log returns ln(a) elementwise.
-func Log(a *Tensor) *Tensor { return unary(a, math.Log) }
+func Log(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	LogFlat(out.data, a.data)
+	return out
+}
 
 // Sqrt returns sqrt(a) elementwise.
-func Sqrt(a *Tensor) *Tensor { return unary(a, math.Sqrt) }
+func Sqrt(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	SqrtFlat(out.data, a.data)
+	return out
+}
 
 // Square returns a*a elementwise.
-func Square(a *Tensor) *Tensor { return unary(a, func(x float64) float64 { return x * x }) }
+func Square(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	SquareFlat(out.data, a.data)
+	return out
+}
 
 // Relu returns max(a, 0) elementwise.
-func Relu(a *Tensor) *Tensor { return unary(a, func(x float64) float64 { return math.Max(x, 0) }) }
+func Relu(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	ReluFlat(out.data, a.data)
+	return out
+}
 
 // ReluGrad returns 1 where a > 0 else 0.
 func ReluGrad(a *Tensor) *Tensor {
-	return unary(a, func(x float64) float64 {
-		if x > 0 {
-			return 1
-		}
-		return 0
-	})
+	out := New(a.shape...)
+	ReluGradFlat(out.data, a.data)
+	return out
 }
 
 // Tanh returns tanh(a) elementwise.
-func Tanh(a *Tensor) *Tensor { return unary(a, math.Tanh) }
+func Tanh(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	TanhFlat(out.data, a.data)
+	return out
+}
 
-// Sigmoid returns 1/(1+e^-a) elementwise.
+// sigmoidPoint computes 1/(1+e^-x) in the sign-split form: the exponential
+// argument is always non-positive, so math.Exp never overflows. The naive
+// form loses all precision for x below about -709 (exp(-x) overflows to +Inf
+// and the result collapses to exactly 0); here sigmoid(-1000) correctly
+// returns the subnormal e^-1000/(1+e^-1000) ≈ e^-1000.
+func sigmoidPoint(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Sigmoid returns 1/(1+e^-a) elementwise, computed in the numerically stable
+// sign-split form.
 func Sigmoid(a *Tensor) *Tensor {
-	return unary(a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	out := New(a.shape...)
+	SigmoidFlat(out.data, a.data)
+	return out
 }
 
 // Clip limits every element to [lo, hi].
 func Clip(a *Tensor, lo, hi float64) *Tensor {
-	return unary(a, func(x float64) float64 { return math.Max(lo, math.Min(hi, x)) })
+	out := New(a.shape...)
+	ClipFlat(out.data, a.data, lo, hi)
+	return out
 }
 
 // Scale returns a*s elementwise.
 func Scale(a *Tensor, s float64) *Tensor {
-	return unary(a, func(x float64) float64 { return x * s })
+	out := New(a.shape...)
+	ScaleFlat(out.data, a.data, s)
+	return out
 }
 
 // AddScalar returns a+s elementwise.
 func AddScalar(a *Tensor, s float64) *Tensor {
-	return unary(a, func(x float64) float64 { return x + s })
+	out := New(a.shape...)
+	AddScalarFlat(out.data, a.data, s)
+	return out
 }
 
 // AddInPlace accumulates src (same shape) into dst.

@@ -2,18 +2,260 @@ package tensor
 
 import "fmt"
 
-// MatMul multiplies two rank-2 tensors: [m,k] x [k,n] -> [m,n].
-// The inner loop is ordered i-k-j so the innermost accesses are sequential,
-// which matters for the conv/im2col path built on top of this kernel.
-func MatMul(a, b *Tensor) *Tensor {
+// Matrix multiplication kernels.
+//
+// All three products (MatMul, MatMulTransA, MatMulTransB) lower onto one
+// cache-blocked row-panel kernel over a row-major A and B; the transposed
+// variants first transpose the relevant operand into pooled scratch, which
+// costs O(elements) against the O(m·k·n) product and lets every case share
+// the fast path. The kernel is blocked over k (so a panel of B stays in
+// cache), register-tiled 4 output rows x 4 k-steps at a time, and
+// parallelized by partitioning output rows across a goroutine pool (see
+// kernels.go).
+//
+// Every output element accumulates its k products in ascending-k order with
+// one rounded add per product — exactly the sequence of the naive i-k-j
+// triple loop — so blocked, tiled, and parallel execution are bit-for-bit
+// identical to MatMulNaive. The seed kernel's `if av == 0 { continue }`
+// zero-skip was removed: on dense data it is a data-dependent branch per
+// element (measurably slower), and it silently converted 0·Inf and 0·NaN
+// into 0 instead of NaN.
+
+// kBlock is the k-panel width: 256 k-rows of B at typical n keep the panel
+// plus four output rows inside L2.
+const kBlock = 256
+
+// matMulDims validates rank-2 operands for an [m,k]x[k,n] product.
+func matMulDims(name string, a, b *Tensor, ka, kb int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v x %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s wants rank-2 operands, got %v x %v", name, a.shape, b.shape))
 	}
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: %s inner dims differ: %v x %v", name, a.shape, b.shape))
+	}
+}
+
+// MatMul multiplies two rank-2 tensors: [m,k] x [k,n] -> [m,n].
+func MatMul(a, b *Tensor) *Tensor {
+	matMulDims("MatMul", a, b, a.shape[1], b.shape[0])
+	out := New(a.shape[0], b.shape[1])
+	matMulCore(a.data, b.data, out.data, a.shape[0], a.shape[1], b.shape[1])
+	return out
+}
+
+// MatMulInto computes a x b into out, which must be a zero-filled [m,n]
+// tensor (as produced by New or Arena.Get). It returns out.
+func MatMulInto(out, a, b *Tensor) *Tensor {
+	matMulDims("MatMul", a, b, a.shape[1], b.shape[0])
+	m, n := a.shape[0], b.shape[1]
+	if out.Rank() != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	matMulCore(a.data, b.data, out.data, m, a.shape[1], n)
+	return out
+}
+
+// MatMulTransA computes aᵀ x b for a:[k,m], b:[k,n] -> [m,n] without
+// materializing the transpose in the caller.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	matMulDims("MatMulTransA", a, b, a.shape[0], b.shape[0])
+	out := New(a.shape[1], b.shape[1])
+	return matMulTransAInto(out, a, b)
+}
+
+// MatMulTransAInto computes aᵀ x b into zero-filled out.
+func MatMulTransAInto(out, a, b *Tensor) *Tensor {
+	matMulDims("MatMulTransA", a, b, a.shape[0], b.shape[0])
+	m, n := a.shape[1], b.shape[1]
+	if out.Rank() != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	return matMulTransAInto(out, a, b)
+}
+
+func matMulTransAInto(out, a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	at := getScratch(m * k)
+	transposeInto(at.data, a.data, k, m)
+	matMulCore(at.data, b.data, out.data, m, k, b.shape[1])
+	putScratch(at)
+	return out
+}
+
+// MatMulTransB computes a x bᵀ for a:[m,k], b:[n,k] -> [m,n] without
+// materializing the transpose in the caller.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	matMulDims("MatMulTransB", a, b, a.shape[1], b.shape[1])
+	out := New(a.shape[0], b.shape[0])
+	return matMulTransBInto(out, a, b)
+}
+
+// MatMulTransBInto computes a x bᵀ into zero-filled out.
+func MatMulTransBInto(out, a, b *Tensor) *Tensor {
+	matMulDims("MatMulTransB", a, b, a.shape[1], b.shape[1])
+	m, n := a.shape[0], b.shape[0]
+	if out.Rank() != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto out shape %v, want [%d %d]", out.shape, m, n))
+	}
+	return matMulTransBInto(out, a, b)
+}
+
+func matMulTransBInto(out, a, b *Tensor) *Tensor {
+	n, k := b.shape[0], b.shape[1]
+	bt := getScratch(k * n)
+	transposeInto(bt.data, b.data, n, k)
+	matMulCore(a.data, bt.data, out.data, a.shape[0], k, n)
+	putScratch(bt)
+	return out
+}
+
+// transposeInto writes the [rows,cols] matrix src into dst as [cols,rows],
+// 32x32-tiled so both sides stream through cache lines.
+func transposeInto(dst, src []float64, rows, cols int) {
+	const tile = 32
+	for i0 := 0; i0 < rows; i0 += tile {
+		i1 := i0 + tile
+		if i1 > rows {
+			i1 = rows
+		}
+		for j0 := 0; j0 < cols; j0 += tile {
+			j1 := j0 + tile
+			if j1 > cols {
+				j1 = cols
+			}
+			for i := i0; i < i1; i++ {
+				row := src[i*cols : i*cols+cols]
+				for j := j0; j < j1; j++ {
+					dst[j*rows+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
+// matMulCore accumulates ad([m,k]) x bd([k,n]) into od([m,n]), partitioning
+// output rows across the kernel pool when the product is large enough.
+func matMulCore(ad, bd, od []float64, m, k, n int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	parts := matmulParts(m, k, n)
+	if parts <= 1 {
+		matMulRows(ad, bd, od, 0, m, k, n)
+		return
+	}
+	parallelFor(parts, func(p int) {
+		matMulRows(ad, bd, od, m*p/parts, m*(p+1)/parts, k, n)
+	})
+}
+
+// matMulRows computes output rows [i0,i1) of ad x bd. For each k-panel it
+// walks 4 output rows at once, loading 4 B rows per inner pass; the inner
+// loop performs 16 multiply-adds per 4 B-loads with the adds of each output
+// element strictly ordered by k.
+func matMulRows(ad, bd, od []float64, i0, i1, k, n int) {
+	for kb := 0; kb < k; kb += kBlock {
+		ke := kb + kBlock
+		if ke > k {
+			ke = k
+		}
+		i := i0
+		for ; i+4 <= i1; i += 4 {
+			a0 := ad[(i+0)*k : (i+0)*k+k]
+			a1 := ad[(i+1)*k : (i+1)*k+k]
+			a2 := ad[(i+2)*k : (i+2)*k+k]
+			a3 := ad[(i+3)*k : (i+3)*k+k]
+			o0 := od[(i+0)*n : (i+0)*n+n]
+			o1 := od[(i+1)*n : (i+1)*n+n]
+			o2 := od[(i+2)*n : (i+2)*n+n]
+			o3 := od[(i+3)*n : (i+3)*n+n]
+			kk := kb
+			for ; kk+4 <= ke; kk += 4 {
+				b0 := bd[(kk+0)*n : (kk+0)*n+n]
+				b1 := bd[(kk+1)*n : (kk+1)*n+n]
+				b2 := bd[(kk+2)*n : (kk+2)*n+n]
+				b3 := bd[(kk+3)*n : (kk+3)*n+n]
+				a00, a01, a02, a03 := a0[kk], a0[kk+1], a0[kk+2], a0[kk+3]
+				a10, a11, a12, a13 := a1[kk], a1[kk+1], a1[kk+2], a1[kk+3]
+				a20, a21, a22, a23 := a2[kk], a2[kk+1], a2[kk+2], a2[kk+3]
+				a30, a31, a32, a33 := a3[kk], a3[kk+1], a3[kk+2], a3[kk+3]
+				for j := 0; j < n; j++ {
+					bv0, bv1, bv2, bv3 := b0[j], b1[j], b2[j], b3[j]
+					s := o0[j]
+					s += a00 * bv0
+					s += a01 * bv1
+					s += a02 * bv2
+					s += a03 * bv3
+					o0[j] = s
+					s = o1[j]
+					s += a10 * bv0
+					s += a11 * bv1
+					s += a12 * bv2
+					s += a13 * bv3
+					o1[j] = s
+					s = o2[j]
+					s += a20 * bv0
+					s += a21 * bv1
+					s += a22 * bv2
+					s += a23 * bv3
+					o2[j] = s
+					s = o3[j]
+					s += a30 * bv0
+					s += a31 * bv1
+					s += a32 * bv2
+					s += a33 * bv3
+					o3[j] = s
+				}
+			}
+			for ; kk < ke; kk++ {
+				brow := bd[kk*n : kk*n+n]
+				av0, av1, av2, av3 := a0[kk], a1[kk], a2[kk], a3[kk]
+				for j := 0; j < n; j++ {
+					bv := brow[j]
+					o0[j] += av0 * bv
+					o1[j] += av1 * bv
+					o2[j] += av2 * bv
+					o3[j] += av3 * bv
+				}
+			}
+		}
+		for ; i < i1; i++ {
+			arow := ad[i*k : i*k+k]
+			orow := od[i*n : i*n+n]
+			kk := kb
+			for ; kk+4 <= ke; kk += 4 {
+				b0 := bd[(kk+0)*n : (kk+0)*n+n]
+				b1 := bd[(kk+1)*n : (kk+1)*n+n]
+				b2 := bd[(kk+2)*n : (kk+2)*n+n]
+				b3 := bd[(kk+3)*n : (kk+3)*n+n]
+				av0, av1, av2, av3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+				for j := 0; j < n; j++ {
+					s := orow[j]
+					s += av0 * b0[j]
+					s += av1 * b1[j]
+					s += av2 * b2[j]
+					s += av3 * b3[j]
+					orow[j] = s
+				}
+			}
+			for ; kk < ke; kk++ {
+				brow := bd[kk*n : kk*n+n]
+				av := arow[kk]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// MatMulNaive is the straightforward i-k-j triple loop: the arithmetic
+// reference the blocked kernels are tested bit-for-bit against, and the
+// serial baseline for BENCH_kernels.json.
+func MatMulNaive(a, b *Tensor) *Tensor {
+	matMulDims("MatMul", a, b, a.shape[1], b.shape[0])
 	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.shape, b.shape))
-	}
+	n := b.shape[1]
 	out := New(m, n)
 	ad, bd, od := a.data, b.data, out.data
 	for i := 0; i < m; i++ {
@@ -21,9 +263,6 @@ func MatMul(a, b *Tensor) *Tensor {
 		orow := od[i*n : (i+1)*n]
 		for kk := 0; kk < k; kk++ {
 			av := arow[kk]
-			if av == 0 {
-				continue
-			}
 			brow := bd[kk*n : (kk+1)*n]
 			for j := range brow {
 				orow[j] += av * brow[j]
@@ -33,17 +272,11 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulTransA computes aᵀ x b for a:[k,m], b:[k,n] -> [m,n] without
-// materializing the transpose.
-func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA wants rank-2 operands, got %v x %v", a.shape, b.shape))
-	}
+// MatMulTransANaive is the k-outer saxpy reference for aᵀ x b.
+func MatMulTransANaive(a, b *Tensor) *Tensor {
+	matMulDims("MatMulTransA", a, b, a.shape[0], b.shape[0])
 	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dims differ: %v x %v", a.shape, b.shape))
-	}
+	n := b.shape[1]
 	out := New(m, n)
 	ad, bd, od := a.data, b.data, out.data
 	for kk := 0; kk < k; kk++ {
@@ -51,9 +284,6 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 		brow := bd[kk*n : (kk+1)*n]
 		for i := 0; i < m; i++ {
 			av := arow[i]
-			if av == 0 {
-				continue
-			}
 			orow := od[i*n : (i+1)*n]
 			for j := range brow {
 				orow[j] += av * brow[j]
@@ -63,17 +293,11 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulTransB computes a x bᵀ for a:[m,k], b:[n,k] -> [m,n] without
-// materializing the transpose.
-func MatMulTransB(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB wants rank-2 operands, got %v x %v", a.shape, b.shape))
-	}
+// MatMulTransBNaive is the dot-product reference for a x bᵀ.
+func MatMulTransBNaive(a, b *Tensor) *Tensor {
+	matMulDims("MatMulTransB", a, b, a.shape[1], b.shape[1])
 	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dims differ: %v x %v", a.shape, b.shape))
-	}
+	n := b.shape[0]
 	out := New(m, n)
 	ad, bd, od := a.data, b.data, out.data
 	for i := 0; i < m; i++ {
