@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, all")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	flag.Parse()
 
@@ -31,10 +31,10 @@ func main() {
 
 	runners := map[string]func(benchkit.Scale) error{
 		"5a": fig5a, "5b": fig5b, "6": fig6, "7a": fig7a, "7b": fig7b, "8": fig8, "9": fig9,
-		"chaos": chaos, "plan": figPlan, "kernels": figKernels,
+		"chaos": chaos, "plan": figPlan, "kernels": figKernels, "conv": figConv,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels"} {
+		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv"} {
 			if err := runners[k](scale); err != nil {
 				log.Fatalf("figure %s: %v", k, err)
 			}
@@ -173,6 +173,7 @@ func figPlan(s benchkit.Scale) error {
 
 	const threshold = 2.0
 	report := struct {
+		Header     benchkit.BenchHeader       `json:"header"`
 		Benchmark  string                     `json:"benchmark"`
 		Workloads  []benchkit.PlanBenchResult `json:"workloads"`
 		Acceptance struct {
@@ -181,7 +182,7 @@ func figPlan(s benchkit.Scale) error {
 			Threshold float64 `json:"threshold"`
 			Pass      bool    `json:"pass"`
 		} `json:"acceptance"`
-	}{Benchmark: "BenchmarkPlanVsRecursive", Workloads: rows}
+	}{Header: benchkit.NewBenchHeader(), Benchmark: "BenchmarkPlanVsRecursive", Workloads: rows}
 	for _, r := range rows {
 		if r.Workload == "chain" {
 			report.Acceptance.Benchmark = "chain (plan serial vs recursive)"
@@ -235,9 +236,10 @@ func figKernels(s benchkit.Scale) error {
 		Note      string  `json:"note,omitempty"`
 	}
 	report := struct {
+		Header benchkit.BenchHeader `json:"header"`
 		*benchkit.KernelBenchReport
 		Acceptance []gate `json:"acceptance"`
-	}{KernelBenchReport: rep}
+	}{Header: benchkit.NewBenchHeader(), KernelBenchReport: rep}
 
 	// Gate 1: parallel matmul. The >= 3x target needs cores to scale across;
 	// on a small box the honest gate is blocked-serial >= 1x vs the seed.
@@ -285,6 +287,89 @@ func figKernels(s benchkit.Scale) error {
 		fmt.Printf("acceptance: %s: %.2fx >= %.1fx: %v\n", a.Benchmark, a.Speedup, a.Threshold, a.Pass)
 	}
 	fmt.Println("wrote BENCH_kernels.json")
+	return nil
+}
+
+// figConv benchmarks the tiled conv pipeline (naive vs tiled-serial vs
+// tiled-parallel forward timings, alloc deltas, scratch high-water mark) and
+// the parallel executor's completion-order buffer reuse on dqn-update,
+// recording the results in BENCH_conv.json. The peak-scratch gate (tiled
+// scratch <= 1/4 of the full im2col materialization on the N=8, 32x32x16
+// workload) always applies; the speedup gate is gomaxprocs-conditional like
+// the kernel gates: parallel conv >= 2x vs the seed path with >= 4 cores,
+// tiled-serial >= 1x otherwise.
+func figConv(s benchkit.Scale) error {
+	header("Conv pipeline — tiled arena-backed conv vs seed full-materialization")
+	rep, err := benchkit.ConvBench(s.ConvIters, s.ConvReuseIters)
+	if err != nil {
+		return err
+	}
+	c := rep.Conv
+	fmt.Printf("conv workload=%-26s naive_ns=%-12.0f tiled_ns=%-12.0f parallel_ns=%-12.0f workers=%-2d tiled=%.2fx parallel=%.2fx\n",
+		c.Workload, c.NaiveNsOp, c.TiledNsOp, c.ParallelNsOp, c.Workers, c.TiledSpeedup, c.ParallelSpeedup)
+	fmt.Printf("conv bytes/op naive=%-12.0f tiled=%-12.0f scratch peak=%d full_im2col=%d ratio=%.3f\n",
+		c.NaiveBytesOp, c.TiledBytesOp, c.PeakScratchElems, c.FullIm2ColElems, c.ScratchRatio)
+	fmt.Printf("reuse workload=%-30s par=%-2d allocs_off=%.1f allocs_on=%.1f bytes_off=%.0f bytes_on=%.0f arena_hit_rate=%.2f\n",
+		rep.Reuse.Workload, rep.Reuse.Parallelism, rep.Reuse.AllocsOffOp, rep.Reuse.AllocsOnOp,
+		rep.Reuse.BytesOffOp, rep.Reuse.BytesOnOp, rep.Reuse.ArenaHitRate)
+
+	type gate struct {
+		Benchmark string  `json:"benchmark"`
+		Value     float64 `json:"value,omitempty"`
+		Threshold float64 `json:"threshold,omitempty"`
+		Pass      bool    `json:"pass"`
+		Note      string  `json:"note,omitempty"`
+	}
+	report := struct {
+		Header benchkit.BenchHeader `json:"header"`
+		*benchkit.ConvBenchReport
+		Acceptance []gate `json:"acceptance"`
+	}{Header: benchkit.NewBenchHeader(), ConvBenchReport: rep}
+
+	// Gate 1 (unconditional): tiled conv peak scratch <= 1/4 of the full
+	// im2col materialization — structural, enforced by convPanelFor's cap.
+	report.Acceptance = append(report.Acceptance, gate{
+		Benchmark: "conv peak scratch vs full im2col (N=8, 32x32x16)",
+		Value:     c.ScratchRatio, Threshold: 0.25,
+		Pass: c.PeakScratchElems*4 <= c.FullIm2ColElems,
+		Note: fmt.Sprintf("peak=%d elems, full=%d elems", c.PeakScratchElems, c.FullIm2ColElems),
+	})
+
+	// Gate 2 (gomaxprocs-conditional): speedup vs the seed path.
+	if report.Header.Gomaxprocs >= 4 {
+		report.Acceptance = append(report.Acceptance, gate{
+			Benchmark: "conv parallel tiled vs seed naive",
+			Value:     c.ParallelSpeedup, Threshold: 2.0,
+			Pass: c.ParallelSpeedup >= 2.0,
+		})
+	} else {
+		report.Acceptance = append(report.Acceptance, gate{
+			Benchmark: "conv tiled serial vs seed naive",
+			Value:     c.TiledSpeedup, Threshold: 1.0,
+			Pass: c.TiledSpeedup >= 1.0,
+			Note: fmt.Sprintf("gomaxprocs=%d < 4: gating on the serial tiled pipeline instead of the parallel fan-out", report.Header.Gomaxprocs),
+		})
+	}
+
+	// Gate 3: completion-order release must cut parallel dqn-update allocs.
+	report.Acceptance = append(report.Acceptance, gate{
+		Benchmark: "parallel dqn-update allocs/op with completion-order reuse",
+		Value:     rep.Reuse.AllocsOffOp / rep.Reuse.AllocsOnOp, Threshold: 1.0,
+		Pass: rep.Reuse.AllocsOnOp < rep.Reuse.AllocsOffOp,
+		Note: fmt.Sprintf("allocs_off=%.1f allocs_on=%.1f", rep.Reuse.AllocsOffOp, rep.Reuse.AllocsOnOp),
+	})
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_conv.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, a := range report.Acceptance {
+		fmt.Printf("acceptance: %s: %.3f (threshold %.2f): %v\n", a.Benchmark, a.Value, a.Threshold, a.Pass)
+	}
+	fmt.Println("wrote BENCH_conv.json")
 	return nil
 }
 

@@ -61,6 +61,11 @@ type Scale struct {
 	KernelMatMulIters int
 	KernelFusedIters  int
 	KernelReuseIters  int
+	// ConvIters is the timed-iteration count of the conv benchmark's
+	// forward passes; ConvReuseIters counts the parallel dqn-update runs of
+	// its buffer-reuse allocation measurement.
+	ConvIters      int
+	ConvReuseIters int
 }
 
 // LaptopScale is the default scaled-down experiment preset.
@@ -83,6 +88,8 @@ func LaptopScale() Scale {
 		KernelMatMulIters: 512,
 		KernelFusedIters:  2000,
 		KernelReuseIters:  200,
+		ConvIters:         30,
+		ConvReuseIters:    200,
 	}
 }
 
@@ -106,6 +113,8 @@ func QuickScale() Scale {
 	s.KernelMatMulIters = 32
 	s.KernelFusedIters = 100
 	s.KernelReuseIters = 20
+	s.ConvIters = 5
+	s.ConvReuseIters = 20
 	return s
 }
 

@@ -1,0 +1,190 @@
+package benchkit
+
+import (
+	"fmt"
+	"runtime"
+
+	"rlgraph/internal/envs"
+	"rlgraph/internal/exec"
+	"rlgraph/internal/tensor"
+)
+
+// ConvResult compares one convolution workload across the seed
+// full-materialization path (Conv2DNaive), the tiled pipeline pinned to one
+// worker, and the tiled pipeline fanned across the kernel worker pool — with
+// the scratch high-water mark behind the peak-memory acceptance gate.
+type ConvResult struct {
+	Workload string `json:"workload"`
+	// NaiveNsOp is the seed path: monolithic im2col + naive matmul.
+	NaiveNsOp float64 `json:"naive_ns_op"`
+	// TiledNsOp is the panel pipeline pinned to one worker.
+	TiledNsOp float64 `json:"tiled_ns_op"`
+	// ParallelNsOp is the panel pipeline at Workers goroutines.
+	ParallelNsOp float64 `json:"parallel_ns_op"`
+	Workers      int     `json:"workers"`
+	// TiledSpeedup and ParallelSpeedup are vs NaiveNsOp.
+	TiledSpeedup    float64 `json:"tiled_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// NaiveBytesOp / TiledBytesOp are heap bytes allocated per forward call
+	// (the alloc-pressure delta of never materializing the patch matrix).
+	NaiveBytesOp float64 `json:"naive_bytes_op"`
+	TiledBytesOp float64 `json:"tiled_bytes_op"`
+	// FullIm2ColElems is the float64 count of the monolithic patch matrix;
+	// PeakScratchElems is the tiled pipeline's concurrent scratch high-water
+	// mark (across all workers) on the same workload, and ScratchRatio their
+	// quotient — gated at <= 0.25.
+	FullIm2ColElems  int64   `json:"full_im2col_elems"`
+	PeakScratchElems int64   `json:"peak_scratch_elems"`
+	ScratchRatio     float64 `json:"scratch_ratio"`
+}
+
+// ConvReuseResult measures allocation pressure of the dqn-update plan under
+// the PARALLEL executor with completion-order buffer release on vs off —
+// the plan-level counterpart of the serial measurement in BENCH_kernels.
+type ConvReuseResult struct {
+	Workload    string  `json:"workload"`
+	Iters       int     `json:"iters"`
+	Parallelism int     `json:"parallelism"`
+	AllocsOffOp float64 `json:"allocs_off_op"`
+	AllocsOnOp  float64 `json:"allocs_on_op"`
+	BytesOffOp  float64 `json:"bytes_off_op"`
+	BytesOnOp   float64 `json:"bytes_on_op"`
+	// ArenaHitRate is pool hits / arena gets over the reuse-on phase.
+	ArenaHitRate float64 `json:"arena_hit_rate"`
+}
+
+// ConvBenchReport is the full conv benchmark output (BENCH_conv.json
+// payload, minus the header and acceptance block added by the CLI).
+type ConvBenchReport struct {
+	Conv  ConvResult      `json:"conv"`
+	Reuse ConvReuseResult `json:"reuse"`
+}
+
+// ConvBench measures the tiled conv pipeline on the acceptance workload
+// (N=8 batches of 32x32x16, 3x3 SAME filters) and the parallel executor's
+// buffer reuse on dqn-update. Kernel parallelism is restored on return.
+func ConvBench(convIters, reuseIters int) (*ConvBenchReport, error) {
+	rep := &ConvBenchReport{}
+	defer tensor.SetKernelParallelism(0)
+
+	// --- forward conv: naive vs tiled-serial vs tiled-parallel ------------
+	const n = 8
+	in := tensor.Ones(n, 32, 32, 16)
+	id := in.Data()
+	for i := range id {
+		id[i] = float64(i%17)*0.25 - 2
+	}
+	filter := tensor.Ones(3, 3, 16, 16)
+	fd := filter.Data()
+	for i := range fd {
+		fd[i] = float64(i%13)*0.125 - 0.75
+	}
+	p := tensor.ConvParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+
+	naiveNs, err := timeRuns(convIters, func() error { tensor.Conv2DNaive(in, filter, p); return nil })
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: conv naive: %w", err)
+	}
+	tensor.SetKernelParallelism(1)
+	tiledNs, err := timeRuns(convIters, func() error { tensor.Conv2D(in, filter, p); return nil })
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: conv tiled: %w", err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	tensor.SetKernelParallelism(workers)
+	tensor.ResetConvScratchStats()
+	parNs, err := timeRuns(convIters, func() error { tensor.Conv2D(in, filter, p); return nil })
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: conv parallel: %w", err)
+	}
+	peak := tensor.ConvScratchPeak()
+
+	rows := n * 32 * 32
+	full := int64(rows * 3 * 3 * 16)
+	naiveBytes := bytesPerOp(convIters, func() { tensor.Conv2DNaive(in, filter, p) })
+	tiledBytes := bytesPerOp(convIters, func() { tensor.Conv2D(in, filter, p) })
+	rep.Conv = ConvResult{
+		Workload:  "conv 8x32x32x16 k3x3 same",
+		NaiveNsOp: naiveNs, TiledNsOp: tiledNs, ParallelNsOp: parNs,
+		Workers:         workers,
+		TiledSpeedup:    naiveNs / tiledNs,
+		ParallelSpeedup: naiveNs / parNs,
+		NaiveBytesOp:    naiveBytes,
+		TiledBytesOp:    tiledBytes,
+		FullIm2ColElems: full, PeakScratchElems: peak,
+		ScratchRatio: float64(peak) / float64(full),
+	}
+
+	// --- parallel dqn-update allocations: completion-order reuse on/off ---
+	par := workers
+	if par > 4 {
+		par = 4
+	}
+	if par < 2 {
+		par = 2
+	}
+	measure := func(reuseOn bool) (allocs, bytes, hitRate float64, err error) {
+		env := envs.NewGridWorld(4, 1)
+		agent, err := BuildAgent(DuelingDQNConfig("static", featureNet(), 1), env)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("benchkit: conv reuse build: %w", err)
+		}
+		if err := seedMemory(agent, env, 512); err != nil {
+			return 0, 0, 0, fmt.Errorf("benchkit: conv reuse seed: %w", err)
+		}
+		se := agent.Executor().(*exec.StaticExecutor)
+		se.SetParallelism(par)
+		se.SetBufferReuse(reuseOn)
+		batch := tensor.Scalar(32)
+		run := func() error { _, err := se.Execute("update_from_memory", batch); return err }
+		for i := 0; i < 3; i++ {
+			if err := run(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		g0, h0 := se.Session().ArenaStats()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < reuseIters; i++ {
+			if err := run(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		runtime.ReadMemStats(&after)
+		g1, h1 := se.Session().ArenaStats()
+		if gets := g1 - g0; gets > 0 {
+			hitRate = float64(h1-h0) / float64(gets)
+		}
+		return float64(after.Mallocs-before.Mallocs) / float64(reuseIters),
+			float64(after.TotalAlloc-before.TotalAlloc) / float64(reuseIters),
+			hitRate, nil
+	}
+	offAllocs, offBytes, _, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	onAllocs, onBytes, hitRate, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Reuse = ConvReuseResult{
+		Workload: "dqn-update (parallel executor)", Iters: reuseIters, Parallelism: par,
+		AllocsOffOp: offAllocs, AllocsOnOp: onAllocs,
+		BytesOffOp: offBytes, BytesOnOp: onBytes,
+		ArenaHitRate: hitRate,
+	}
+	return rep, nil
+}
+
+// bytesPerOp reports heap bytes allocated per call of fn.
+func bytesPerOp(iters int, fn func()) float64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+}

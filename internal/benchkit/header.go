@@ -1,0 +1,37 @@
+package benchkit
+
+import (
+	osexec "os/exec"
+	"runtime"
+	"strings"
+)
+
+// BenchHeader identifies the machine and revision a benchmark report was
+// produced on. It is embedded at the top of every BENCH_*.json payload
+// (plan, kernels, conv) so reports from different commits or core counts are
+// never compared blindly — the gomaxprocs-conditional acceptance gates key
+// off the same values.
+type BenchHeader struct {
+	// Commit is the short git revision, or "unknown" outside a checkout.
+	Commit string `json:"commit"`
+	// Gomaxprocs records the machine's usable CPUs: parallel-speedup gates
+	// only apply when it is >= 4.
+	Gomaxprocs int `json:"gomaxprocs"`
+	// GoVersion is the toolchain the binary was built with.
+	GoVersion string `json:"go_version"`
+}
+
+// NewBenchHeader snapshots the current revision and machine shape.
+func NewBenchHeader() BenchHeader {
+	commit := "unknown"
+	if out, err := osexec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if s := strings.TrimSpace(string(out)); s != "" {
+			commit = s
+		}
+	}
+	return BenchHeader{
+		Commit:     commit,
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}

@@ -174,9 +174,9 @@ func (e *StaticExecutor) SetFusion(on bool) {
 	}
 }
 
-// SetBufferReuse toggles arena recycling of plan intermediates in serial
-// execution (default on; see graph.Session.SetBufferReuse). May be called
-// before or after Build.
+// SetBufferReuse toggles arena recycling of plan intermediates in both the
+// serial and parallel executors (default on; see
+// graph.Session.SetBufferReuse). May be called before or after Build.
 func (e *StaticExecutor) SetBufferReuse(on bool) {
 	e.bufferReuseOff = !on
 	if e.sess != nil {

@@ -76,12 +76,23 @@ type Plan struct {
 	statDevices  []string
 	schedDevices []string
 
-	// release[i] lists value slots whose tensors may be returned to the
-	// session's buffer arena after step i completes: the slot's producer and
-	// all its consumers have value semantics, it is not fetched or fed, and
-	// step i is its last use. Only the serial executor releases (step order
-	// equals completion order there).
-	release [][]int32
+	// Buffer-release schedules, both derived from the same liveness analysis
+	// (computeRelease): a slot is recyclable iff its producer and every
+	// consumer have value semantics and it is neither fetched nor fed.
+	//
+	// release[i] lists slots whose last-use step (in compiled order) is i —
+	// the serial executor's schedule, where step order equals completion
+	// order.
+	//
+	// The parallel executor releases in completion order instead: readers0
+	// holds each recyclable slot's remaining-reader count (the number of
+	// distinct steps that read it, or 1 for a producer-released slot with no
+	// consumers), and stepRelease[i] lists the recyclable slots step i
+	// decrements when it completes. The worker whose decrement reaches zero
+	// returns the slot's tensor to the arena.
+	release     [][]int32
+	readers0    []int32
+	stepRelease [][]int32
 
 	scratch sync.Pool
 }
@@ -94,9 +105,10 @@ func (p *Plan) Slots() int { return p.nslots }
 
 // planScratch is the reusable per-run buffer set.
 type planScratch struct {
-	values []*tensor.Tensor
-	ins    []*tensor.Tensor
-	indeg  []int32
+	values  []*tensor.Tensor
+	ins     []*tensor.Tensor
+	indeg   []int32
+	readers []int32
 }
 
 // planKey builds the cache key for a fetch-set under a feed-key-set: fetch
@@ -334,9 +346,10 @@ func compilePlan(g *Graph, fetches []*Node, fed map[*Node]bool, fuse bool) (*Pla
 	nslots, insTotal, nsteps := p.nslots, len(p.insSlots), len(p.steps)
 	p.scratch.New = func() any {
 		return &planScratch{
-			values: make([]*tensor.Tensor, nslots),
-			ins:    make([]*tensor.Tensor, insTotal),
-			indeg:  make([]int32, nsteps),
+			values:  make([]*tensor.Tensor, nslots),
+			ins:     make([]*tensor.Tensor, insTotal),
+			indeg:   make([]int32, nsteps),
+			readers: make([]int32, nslots),
 		}
 	}
 	return p, nil
@@ -399,6 +412,41 @@ func (p *Plan) computeRelease() {
 			p.release[last[s]] = append(p.release[last[s]], int32(s))
 		}
 	}
+
+	// Completion-order schedule for the parallel executor: count each slot's
+	// distinct reading steps and record, per step, which recyclable slots it
+	// decrements on completion. A step reading a slot through several inputs
+	// decrements it once. Recyclable slots nobody reads are decremented (and
+	// so released) by their own producer.
+	p.readers0 = make([]int32, p.nslots)
+	p.stepRelease = make([][]int32, len(p.steps))
+	for i := range p.steps {
+		st := &p.steps[i]
+		ins := p.insSlots[st.insOff : st.insOff+st.insLen]
+		for k, s := range ins {
+			if producer[s] < 0 || !releasable[s] {
+				continue
+			}
+			dup := false
+			for _, t := range ins[:k] {
+				if t == s {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			p.readers0[s]++
+			p.stepRelease[i] = append(p.stepRelease[i], s)
+		}
+	}
+	for s := 0; s < p.nslots; s++ {
+		if producer[s] >= 0 && releasable[s] && p.readers0[s] == 0 {
+			p.readers0[s] = 1
+			p.stepRelease[producer[s]] = append(p.stepRelease[producer[s]], int32(s))
+		}
+	}
 }
 
 // runPlan executes a compiled plan under the session's parallelism setting,
@@ -441,15 +489,15 @@ func (s *Session) runPlan(p *Plan, feeds Feeds) ([]*tensor.Tensor, error) {
 	}
 
 	devCounts := make([]int64, len(p.statDevices))
+	var arena *tensor.Arena
+	if s.bufferReuse.Load() {
+		arena = s.arena
+	}
 	var evaluated int64
 	var runErr error
 	if workers := int(s.parallelism.Load()); workers > 1 && len(p.steps) > 1 {
-		evaluated, runErr = p.execParallel(sc, devCounts, workers, s.deviceLimitsRef())
+		evaluated, runErr = p.execParallel(sc, devCounts, workers, s.deviceLimitsRef(), arena)
 	} else {
-		var arena *tensor.Arena
-		if s.bufferReuse.Load() {
-			arena = s.arena
-		}
 		evaluated, runErr = p.execSerial(sc, devCounts, arena)
 	}
 
@@ -514,13 +562,29 @@ func (p *Plan) execSerial(sc *planScratch, devCounts []int64, arena *tensor.Aren
 // indegree counters. Steps on the same named device serialize through that
 // device's stream semaphore (default one stream); stateful steps are chained
 // by compile-time edges, so results match serial execution bit-for-bit.
-func (p *Plan) execParallel(sc *planScratch, devCounts []int64, workers int, limits map[string]int) (int64, error) {
+//
+// With a non-nil arena, dead intermediates are recycled in completion order:
+// after its Eval, each step atomically decrements the remaining-reader count
+// of every recyclable slot it read (plus its own output slot when nobody
+// reads it), and the worker whose decrement reaches zero returns the tensor
+// to the arena. The atomic decrement orders each reader's Eval (which
+// happens-before its decrement in program order) before the release, so no
+// tensor is recycled while a consumer can still touch it; error or
+// early-exit paths simply skip remaining releases, which is safe because the
+// per-run counters live in plan scratch and are re-copied from readers0 on
+// the next run.
+func (p *Plan) execParallel(sc *planScratch, devCounts []int64, workers int, limits map[string]int, arena *tensor.Arena) (int64, error) {
 	if workers > len(p.steps) {
 		workers = len(p.steps)
 	}
 	indeg := sc.indeg
 	copy(indeg, p.indeg0)
 	values := sc.values
+	var readers []int32
+	if arena != nil {
+		readers = sc.readers
+		copy(readers, p.readers0)
+	}
 
 	sems := make([]chan struct{}, len(p.schedDevices))
 	for i, name := range p.schedDevices {
@@ -562,7 +626,7 @@ func (p *Plan) execParallel(sc *planScratch, devCounts []int64, workers int, lim
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx := &RunCtx{}
+			ctx := &RunCtx{arena: arena}
 			for {
 				var i int32
 				select {
@@ -599,6 +663,16 @@ func (p *Plan) execParallel(sc *planScratch, devCounts []int64, workers int, lim
 				values[st.out] = v
 				atomic.AddInt64(&evaluated, st.evals())
 				atomic.AddInt64(&devCounts[st.statDev], st.evals())
+				if arena != nil {
+					for _, s := range p.stepRelease[i] {
+						if atomic.AddInt32(&readers[s], -1) == 0 {
+							if t := values[s]; t != nil {
+								values[s] = nil
+								arena.Put(t)
+							}
+						}
+					}
+				}
 				for _, succ := range p.succ[i] {
 					if atomic.AddInt32(&indeg[succ], -1) == 0 {
 						ready <- succ

@@ -386,7 +386,9 @@ type evalMode int
 const (
 	modeRecursive evalMode = iota
 	modePlanSerial
+	modePlanSerialNoReuse
 	modePlanParallel
+	modePlanParallelNoReuse
 )
 
 func runRandomProgram(seed int64, mode evalMode) ([]*tensor.Tensor, error) {
@@ -466,8 +468,13 @@ func runRandomProgram(seed int64, mode evalMode) ([]*tensor.Tensor, error) {
 	switch mode {
 	case modeRecursive:
 		return sess.RunRecursive(fetches, feeds)
+	case modePlanSerialNoReuse:
+		sess.SetBufferReuse(false)
 	case modePlanParallel:
+		sess.SetParallelism(4) // buffer reuse on by default: completion-order release
+	case modePlanParallelNoReuse:
 		sess.SetParallelism(4)
+		sess.SetBufferReuse(false)
 	}
 	return sess.Run(fetches, feeds)
 }
@@ -488,32 +495,66 @@ func bitsEqual(a, b *tensor.Tensor) bool {
 }
 
 func TestPlanDifferentialRandomDAGs(t *testing.T) {
+	modes := []struct {
+		name string
+		mode evalMode
+	}{
+		{"serial+reuse", modePlanSerial},
+		{"serial", modePlanSerialNoReuse},
+		{"parallel+reuse", modePlanParallel},
+		{"parallel", modePlanParallelNoReuse},
+	}
 	for seed := int64(0); seed < 40; seed++ {
 		ref, err := runRandomProgram(seed, modeRecursive)
 		if err != nil {
 			t.Fatalf("seed %d: recursive: %v", seed, err)
 		}
-		serial, err := runRandomProgram(seed, modePlanSerial)
-		if err != nil {
-			t.Fatalf("seed %d: plan serial: %v", seed, err)
-		}
-		par, err := runRandomProgram(seed, modePlanParallel)
-		if err != nil {
-			t.Fatalf("seed %d: plan parallel: %v", seed, err)
-		}
-		if len(ref) != len(serial) || len(ref) != len(par) {
-			t.Fatalf("seed %d: fetch count mismatch", seed)
-		}
-		for i := range ref {
-			if !bitsEqual(ref[i], serial[i]) {
-				t.Fatalf("seed %d fetch %d: serial plan diverged from recursive reference:\n%v\nvs\n%v",
-					seed, i, serial[i], ref[i])
+		for _, m := range modes {
+			got, err := runRandomProgram(seed, m.mode)
+			if err != nil {
+				t.Fatalf("seed %d: plan %s: %v", seed, m.name, err)
 			}
-			if !bitsEqual(ref[i], par[i]) {
-				t.Fatalf("seed %d fetch %d: parallel plan diverged from recursive reference:\n%v\nvs\n%v",
-					seed, i, par[i], ref[i])
+			if len(ref) != len(got) {
+				t.Fatalf("seed %d: plan %s: fetch count mismatch", seed, m.name)
+			}
+			for i := range ref {
+				if !bitsEqual(ref[i], got[i]) {
+					t.Fatalf("seed %d fetch %d: plan %s diverged from recursive reference:\n%v\nvs\n%v",
+						seed, i, m.name, got[i], ref[i])
+				}
 			}
 		}
+	}
+}
+
+// TestParallelExecutorRecyclesIntermediates proves completion-order release
+// actually returns dead intermediates to the arena under the parallel
+// executor: a second run of a deep chain must be served from pool hits.
+func TestParallelExecutorRecyclesIntermediates(t *testing.T) {
+	g := New()
+	x := Placeholder(g, "x", []int{64})
+	n := x
+	for i := 0; i < 24; i++ {
+		n = Tanh(g, AddScalar(g, n, 0.25))
+	}
+	sess := NewSession(g)
+	sess.SetParallelism(4)
+	sess.SetFusion(false) // keep every intermediate a separate step
+	feeds := Feeds{x: tensor.New(64)}
+	if _, err := sess.Run1(n, feeds); err != nil {
+		t.Fatal(err)
+	}
+	gets0, hits0 := sess.ArenaStats()
+	if _, err := sess.Run1(n, feeds); err != nil {
+		t.Fatal(err)
+	}
+	gets1, hits1 := sess.ArenaStats()
+	if gets1 <= gets0 {
+		t.Fatalf("second run allocated nothing through the arena: gets %d -> %d", gets0, gets1)
+	}
+	if hits1 <= hits0 {
+		t.Fatalf("parallel executor returned nothing to the arena: hits %d -> %d (gets %d -> %d)",
+			hits0, hits1, gets0, gets1)
 	}
 }
 

@@ -30,7 +30,8 @@ type Session struct {
 	parallelism atomic.Int32
 
 	// fusion enables the plan compiler's elementwise fusion pass; bufferReuse
-	// lets the serial executor recycle intermediate buffers through arena.
+	// lets both executors recycle intermediate buffers through arena — the
+	// serial executor on last use, the parallel executor in completion order.
 	// Both default to on and preserve bit-for-bit results (see fuse.go and
 	// Plan.computeRelease).
 	fusion      atomic.Bool
@@ -85,12 +86,14 @@ func (s *Session) SetFusion(on bool) { s.fusion.Store(on) }
 // Fusion reports whether plan compilation fuses elementwise chains.
 func (s *Session) Fusion() bool { return s.fusion.Load() }
 
-// SetBufferReuse toggles arena recycling of intermediate buffers in the
-// serial executor (default on). It is a pure runtime switch — plans are
+// SetBufferReuse toggles arena recycling of intermediate buffers (default
+// on). The serial executor releases dead intermediates after their last-use
+// step; the parallel executor releases them in completion order via atomic
+// remaining-reader counters. It is a pure runtime switch — plans are
 // unaffected — and results are bit-for-bit identical either way.
 func (s *Session) SetBufferReuse(on bool) { s.bufferReuse.Store(on) }
 
-// BufferReuse reports whether the serial executor recycles intermediates.
+// BufferReuse reports whether plan executors recycle intermediates.
 func (s *Session) BufferReuse() bool { return s.bufferReuse.Load() }
 
 // ArenaStats reports the session arena's (allocations served, pool hits)

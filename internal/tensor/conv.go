@@ -1,6 +1,27 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Convolution kernels.
+//
+// Conv2D and its backward passes lower onto the blocked matmul core through
+// im2col, but never materialize the full [N*OH*OW, KH*KW*C] patch matrix:
+// the output is tiled over row-panels, each panel's patches are unfolded into
+// a pooled scratch buffer of ConvPanelRows rows, multiplied against the
+// reshaped filter, and written (forward) or folded back (backward) before the
+// next panel reuses the same scratch. Peak conv scratch is therefore
+// O(workers * panel * KH*KW*C) instead of O(N*OH*OW * KH*KW*C); the panel
+// size self-caps so in-flight scratch never exceeds a quarter of the full
+// materialization (see convPanelFor).
+//
+// Forward panels cover disjoint output rows and fan out across the kernel
+// worker pool. The backward passes accumulate overlapping contributions
+// (Col2Im) or a running filter-gradient sum, so their panels run serially in
+// ascending row order — exactly the accumulation sequence of the full
+// materialization, keeping every path bit-for-bit identical to Conv2DNaive.
 
 // ConvParams describes a 2-D convolution in NHWC layout with filter layout
 // [KH, KW, InC, OutC].
@@ -22,6 +43,135 @@ func SamePadding(kh, kw int) (padH, padW int) {
 	return (kh - 1) / 2, (kw - 1) / 2
 }
 
+// defaultConvPanelRows is the default output-row count per im2col panel: 64
+// rows keep the panel well inside L2 for typical KH*KW*C while giving the
+// 4-row register tiles of the matmul core full panels to chew on.
+const defaultConvPanelRows = 64
+
+var convPanelRows atomic.Int32
+
+// SetConvPanelRows sets the output-row count of the tiled conv pipeline's
+// im2col panels. n <= 0 restores the default (64). Panel size is a pure
+// memory/latency knob — results are identical at any setting.
+func SetConvPanelRows(n int) {
+	if n <= 0 {
+		n = defaultConvPanelRows
+	}
+	convPanelRows.Store(int32(n))
+}
+
+// ConvPanelRows reports the current conv panel size.
+func ConvPanelRows() int {
+	if v := convPanelRows.Load(); v > 0 {
+		return int(v)
+	}
+	return defaultConvPanelRows
+}
+
+// Conv scratch accounting: current and high-water-mark float64 elements
+// checked out by conv panels, the measurement behind the BENCH_conv peak-
+// scratch acceptance gate.
+var (
+	convScratchCur  atomic.Int64
+	convScratchPeak atomic.Int64
+)
+
+// ResetConvScratchStats zeroes the conv scratch high-water mark.
+func ResetConvScratchStats() {
+	convScratchCur.Store(0)
+	convScratchPeak.Store(0)
+}
+
+// ConvScratchPeak reports the peak number of float64 scratch elements held
+// concurrently by conv panels since the last reset.
+func ConvScratchPeak() int64 { return convScratchPeak.Load() }
+
+func convScratchGet(n int) *Tensor {
+	cur := convScratchCur.Add(int64(n))
+	for {
+		peak := convScratchPeak.Load()
+		if cur <= peak || convScratchPeak.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	return getScratch(n)
+}
+
+func convScratchPut(t *Tensor) {
+	convScratchCur.Add(-int64(len(t.data)))
+	putScratch(t)
+}
+
+// convPanelFor picks the panel size for a conv over `rows` output rows split
+// across `parts` workers: the configured panel, shrunk so the total in-flight
+// scratch (parts * panel rows) stays at or below a quarter of the full
+// materialization whenever rows is large enough to matter.
+func convPanelFor(rows, parts int) int {
+	panel := ConvPanelRows()
+	if cap := rows / (4 * parts); cap >= 1 && panel > cap {
+		panel = cap
+	}
+	if panel > rows {
+		panel = rows
+	}
+	return panel
+}
+
+// convParts picks the worker fan-out for a forward conv: row-partitioned like
+// matmul, serial below the same madd threshold.
+func convParts(rows, ckk, oc, panel int) int {
+	if rows*ckk*oc < matmulParallelThreshold {
+		return 1
+	}
+	parts := KernelParallelism()
+	if max := (rows + panel - 1) / panel; parts > max {
+		parts = max
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
+// im2colRows unfolds output rows [r0, r1) of the patch matrix into dst,
+// which must hold (r1-r0)*KH*KW*C elements. Padded regions are written as
+// explicit zeros, so dst may be arbitrary reused scratch.
+func im2colRows(dst []float64, input *Tensor, r0, r1, kh, kw int, p ConvParams) {
+	h, w, c := input.shape[1], input.shape[2], input.shape[3]
+	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	ckk := kh * kw * c
+	for row := r0; row < r1; row++ {
+		b := row / (oh * ow)
+		rem := row - b*oh*ow
+		oy := rem / ow
+		ox := rem - oy*ow
+		iy0 := oy*p.StrideH - p.PadH
+		ix0 := ox*p.StrideW - p.PadW
+		d := dst[(row-r0)*ckk : (row-r0+1)*ckk]
+		imgBase := b * h * w * c
+		di := 0
+		for ky := 0; ky < kh; ky++ {
+			iy := iy0 + ky
+			if iy < 0 || iy >= h {
+				clear(d[di : di+kw*c])
+				di += kw * c
+				continue
+			}
+			rowBase := imgBase + iy*w*c
+			for kx := 0; kx < kw; kx++ {
+				ix := ix0 + kx
+				if ix < 0 || ix >= w {
+					clear(d[di : di+c])
+					di += c
+					continue
+				}
+				copy(d[di:di+c], input.data[rowBase+ix*c:rowBase+ix*c+c])
+				di += c
+			}
+		}
+	}
+}
+
 // Im2Col unfolds input [N,H,W,C] into patches [N*OH*OW, KH*KW*C] so that
 // convolution becomes a single matmul against the reshaped filter.
 func Im2Col(input *Tensor, kh, kw int, p ConvParams) *Tensor {
@@ -31,101 +181,168 @@ func Im2Col(input *Tensor, kh, kw int, p ConvParams) *Tensor {
 	n, h, w, c := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
 	oh, ow := p.ConvOutDims(h, w, kh, kw)
 	cols := New(n*oh*ow, kh*kw*c)
-	row := 0
-	for b := 0; b < n; b++ {
+	im2colRows(cols.data, input, 0, n*oh*ow, kh, kw, p)
+	return cols
+}
+
+// col2imRows folds patch-gradient rows [r0, r1) (held in src, (r1-r0) rows of
+// KH*KW*C) back into the input-shaped gradient out, accumulating overlapping
+// contributions in ascending row order.
+func col2imRows(out *Tensor, src []float64, r0, r1, kh, kw int, p ConvParams) {
+	h, w, c := out.shape[1], out.shape[2], out.shape[3]
+	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	ckk := kh * kw * c
+	for row := r0; row < r1; row++ {
+		b := row / (oh * ow)
+		rem := row - b*oh*ow
+		oy := rem / ow
+		ox := rem - oy*ow
+		iy0 := oy*p.StrideH - p.PadH
+		ix0 := ox*p.StrideW - p.PadW
+		s := src[(row-r0)*ckk : (row-r0+1)*ckk]
 		imgBase := b * h * w * c
-		for oy := 0; oy < oh; oy++ {
-			iy0 := oy*p.StrideH - p.PadH
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*p.StrideW - p.PadW
-				dst := cols.data[row*kh*kw*c : (row+1)*kh*kw*c]
-				di := 0
-				for ky := 0; ky < kh; ky++ {
-					iy := iy0 + ky
-					if iy < 0 || iy >= h {
-						di += kw * c // zero padding rows stay zero
-						continue
-					}
-					rowBase := imgBase + iy*w*c
-					for kx := 0; kx < kw; kx++ {
-						ix := ix0 + kx
-						if ix < 0 || ix >= w {
-							di += c
-							continue
-						}
-						copy(dst[di:di+c], input.data[rowBase+ix*c:rowBase+ix*c+c])
-						di += c
-					}
+		si := 0
+		for ky := 0; ky < kh; ky++ {
+			iy := iy0 + ky
+			if iy < 0 || iy >= h {
+				si += kw * c
+				continue
+			}
+			rowBase := imgBase + iy*w*c
+			for kx := 0; kx < kw; kx++ {
+				ix := ix0 + kx
+				if ix < 0 || ix >= w {
+					si += c
+					continue
 				}
-				row++
+				dst := out.data[rowBase+ix*c : rowBase+ix*c+c]
+				for j := 0; j < c; j++ {
+					dst[j] += s[si+j]
+				}
+				si += c
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im folds patch gradients [N*OH*OW, KH*KW*C] back into an input-shaped
 // gradient [N,H,W,C], accumulating overlapping contributions. The adjoint of
 // Im2Col.
 func Col2Im(cols *Tensor, n, h, w, c, kh, kw int, p ConvParams) *Tensor {
-	oh, ow := p.ConvOutDims(h, w, kh, kw)
 	out := New(n, h, w, c)
-	row := 0
-	for b := 0; b < n; b++ {
-		imgBase := b * h * w * c
-		for oy := 0; oy < oh; oy++ {
-			iy0 := oy*p.StrideH - p.PadH
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*p.StrideW - p.PadW
-				src := cols.data[row*kh*kw*c : (row+1)*kh*kw*c]
-				si := 0
-				for ky := 0; ky < kh; ky++ {
-					iy := iy0 + ky
-					if iy < 0 || iy >= h {
-						si += kw * c
-						continue
-					}
-					rowBase := imgBase + iy*w*c
-					for kx := 0; kx < kw; kx++ {
-						ix := ix0 + kx
-						if ix < 0 || ix >= w {
-							si += c
-							continue
-						}
-						dst := out.data[rowBase+ix*c : rowBase+ix*c+c]
-						for j := 0; j < c; j++ {
-							dst[j] += src[si+j]
-						}
-						si += c
-					}
-				}
-				row++
-			}
-		}
-	}
+	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	col2imRows(out, cols.data, 0, n*oh*ow, kh, kw, p)
 	return out
 }
 
-// Conv2D computes an NHWC convolution: input [N,H,W,C] * filter [KH,KW,C,OC]
-// -> [N,OH,OW,OC].
-func Conv2D(input, filter *Tensor, p ConvParams) *Tensor {
+// convDims validates and extracts the common conv dimensions.
+func convDims(input, filter *Tensor, p ConvParams) (n, h, w, c, kh, kw, oc, oh, ow int) {
+	if input.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D wants NHWC rank-4 input, got %v", input.shape))
+	}
 	if filter.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Conv2D wants rank-4 filter, got %v", filter.shape))
 	}
-	kh, kw, c, oc := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
+	kh, kw, c, oc = filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
 	if input.shape[3] != c {
 		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input %v filter %v", input.shape, filter.shape))
 	}
-	n, h, w := input.shape[0], input.shape[1], input.shape[2]
-	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	n, h, w = input.shape[0], input.shape[1], input.shape[2]
+	oh, ow = p.ConvOutDims(h, w, kh, kw)
+	return
+}
+
+// Conv2D computes an NHWC convolution: input [N,H,W,C] * filter [KH,KW,C,OC]
+// -> [N,OH,OW,OC], via the tiled im2col pipeline. Row-panels of the output
+// are disjoint, so they fan out across the kernel worker pool; each worker
+// reuses one pooled panel of scratch for its whole row range.
+func Conv2D(input, filter *Tensor, p ConvParams) *Tensor {
+	n, _, _, _, kh, kw, oc, oh, ow := convDims(input, filter, p)
+	ckk := kh * kw * input.shape[3]
+	rows := n * oh * ow
+	out := New(n, oh, ow, oc)
+	if rows == 0 || oc == 0 {
+		return out
+	}
+	fd := filter.data
+	od := out.data
+	panel0 := convPanelFor(rows, 1)
+	parts := convParts(rows, ckk, oc, panel0)
+	panel := convPanelFor(rows, parts)
+	parallelFor(parts, func(pt int) {
+		r0, r1 := rows*pt/parts, rows*(pt+1)/parts
+		if r0 == r1 {
+			return
+		}
+		pr := panel
+		if pr > r1-r0 {
+			pr = r1 - r0
+		}
+		scratch := convScratchGet(pr * ckk)
+		for s := r0; s < r1; s += pr {
+			e := s + pr
+			if e > r1 {
+				e = r1
+			}
+			im2colRows(scratch.data, input, s, e, kh, kw, p)
+			matMulRows(scratch.data, fd, od[s*oc:e*oc], 0, e-s, ckk, oc)
+		}
+		convScratchPut(scratch)
+	})
+	return out
+}
+
+// Conv2DNaive is the seed full-materialization convolution: one monolithic
+// im2col matrix fed through the serial naive matmul. It is the arithmetic
+// reference the tiled pipeline is tested bit-for-bit against, and the
+// baseline for BENCH_conv.json.
+func Conv2DNaive(input, filter *Tensor, p ConvParams) *Tensor {
+	n, _, _, c, kh, kw, oc, oh, ow := convDims(input, filter, p)
 	cols := Im2Col(input, kh, kw, p)    // [N*OH*OW, KH*KW*C]
 	fmat := filter.Reshape(kh*kw*c, oc) // [KH*KW*C, OC]
-	out := MatMul(cols, fmat)           // [N*OH*OW, OC]
+	out := MatMulNaive(cols, fmat)      // [N*OH*OW, OC]
 	return out.Reshape(n, oh, ow, oc)
 }
 
-// Conv2DBackwardInput returns dL/dInput for a Conv2D.
+// Conv2DBackwardInput returns dL/dInput for a Conv2D. Panels run serially in
+// ascending row order because Col2Im accumulates overlapping contributions —
+// the order of the full-materialization path — but each panel's matmul still
+// uses the blocked (row-parallel) core.
 func Conv2DBackwardInput(gradOut, filter *Tensor, inputShape []int, p ConvParams) *Tensor {
+	kh, kw, c, oc := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
+	n, h, w := inputShape[0], inputShape[1], inputShape[2]
+	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	rows := n * oh * ow
+	out := New(n, h, w, c)
+	if rows == 0 {
+		return out
+	}
+	ckk := kh * kw * c
+	gm := gradOut.data // [rows, OC] viewed flat
+	// Transpose the filter once: [KH*KW*C, OC] -> [OC, KH*KW*C].
+	ft := convScratchGet(oc * ckk)
+	transposeInto(ft.data, filter.data, ckk, oc)
+	panel := convPanelFor(rows, 1)
+	colsPanel := convScratchGet(panel * ckk)
+	for s := 0; s < rows; s += panel {
+		e := s + panel
+		if e > rows {
+			e = rows
+		}
+		cp := colsPanel.data[:(e-s)*ckk]
+		clear(cp)
+		// colsGrad[s:e] = gradOut[s:e] x filterᵀ.
+		matMulCore(gm[s*oc:e*oc], ft.data, cp, e-s, oc, ckk)
+		col2imRows(out, cp, s, e, kh, kw, p)
+	}
+	convScratchPut(colsPanel)
+	convScratchPut(ft)
+	return out
+}
+
+// Conv2DBackwardInputNaive is the full-materialization reference for the
+// input gradient.
+func Conv2DBackwardInputNaive(gradOut, filter *Tensor, inputShape []int, p ConvParams) *Tensor {
 	kh, kw, c, oc := filter.shape[0], filter.shape[1], filter.shape[2], filter.shape[3]
 	n, h, w := inputShape[0], inputShape[1], inputShape[2]
 	gm := gradOut.Reshape(-1, oc)       // [N*OH*OW, OC]
@@ -134,8 +351,43 @@ func Conv2DBackwardInput(gradOut, filter *Tensor, inputShape []int, p ConvParams
 	return Col2Im(colsGrad, n, h, w, c, kh, kw, p)
 }
 
-// Conv2DBackwardFilter returns dL/dFilter for a Conv2D.
+// Conv2DBackwardFilter returns dL/dFilter for a Conv2D. Each output element
+// of the filter gradient sums products over all N*OH*OW patch rows; panels
+// accumulate into the gradient serially in ascending row order, reproducing
+// the accumulation sequence of the monolithic aᵀ x gy product.
 func Conv2DBackwardFilter(input, gradOut *Tensor, filterShape []int, p ConvParams) *Tensor {
+	kh, kw, c, oc := filterShape[0], filterShape[1], filterShape[2], filterShape[3]
+	n, h, w := input.shape[0], input.shape[1], input.shape[2]
+	oh, ow := p.ConvOutDims(h, w, kh, kw)
+	rows := n * oh * ow
+	fgrad := New(kh, kw, c, oc)
+	if rows == 0 {
+		return fgrad
+	}
+	ckk := kh * kw * c
+	gm := gradOut.data // [rows, OC] viewed flat
+	panel := convPanelFor(rows, 1)
+	colsPanel := convScratchGet(panel * ckk)
+	tp := convScratchGet(ckk * panel)
+	for s := 0; s < rows; s += panel {
+		e := s + panel
+		if e > rows {
+			e = rows
+		}
+		im2colRows(colsPanel.data, input, s, e, kh, kw, p)
+		// fgrad += colsᵀ[s:e] x gradOut[s:e]; the transpose feeds the blocked
+		// core, which accumulates into fgrad in ascending row order.
+		transposeInto(tp.data, colsPanel.data, e-s, ckk)
+		matMulCore(tp.data, gm[s*oc:e*oc], fgrad.data, ckk, e-s, oc)
+	}
+	convScratchPut(tp)
+	convScratchPut(colsPanel)
+	return fgrad
+}
+
+// Conv2DBackwardFilterNaive is the full-materialization reference for the
+// filter gradient.
+func Conv2DBackwardFilterNaive(input, gradOut *Tensor, filterShape []int, p ConvParams) *Tensor {
 	kh, kw, c, oc := filterShape[0], filterShape[1], filterShape[2], filterShape[3]
 	cols := Im2Col(input, kh, kw, p) // [N*OH*OW, KH*KW*C]
 	gm := gradOut.Reshape(-1, oc)    // [N*OH*OW, OC]

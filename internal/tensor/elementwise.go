@@ -117,11 +117,24 @@ func binary(a, b *Tensor, fn func(x, y float64) float64) *Tensor {
 // tensor, not one per element. dst may be freshly allocated (all elements
 // are overwritten). Each kernel computes exactly the expression the generic
 // path computes, in the same operand order, so results are bit-identical.
+//
+// The arithmetic kernels are 4-way unrolled with explicit local temporaries
+// (gonum-style): four independent lanes per iteration amortize bounds checks
+// and let the compiler keep the lane values in registers. Elementwise lanes
+// are independent, so unrolling cannot change results.
 
 // AddFlat sets dst[i] = a[i] + b[i].
 func AddFlat(dst, a, b []float64) {
 	a, b = a[:len(dst)], b[:len(dst)]
-	for i := range dst {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d0 := a[i] + b[i]
+		d1 := a[i+1] + b[i+1]
+		d2 := a[i+2] + b[i+2]
+		d3 := a[i+3] + b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] + b[i]
 	}
 }
@@ -129,7 +142,15 @@ func AddFlat(dst, a, b []float64) {
 // SubFlat sets dst[i] = a[i] - b[i].
 func SubFlat(dst, a, b []float64) {
 	a, b = a[:len(dst)], b[:len(dst)]
-	for i := range dst {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] - b[i]
 	}
 }
@@ -137,7 +158,15 @@ func SubFlat(dst, a, b []float64) {
 // MulFlat sets dst[i] = a[i] * b[i].
 func MulFlat(dst, a, b []float64) {
 	a, b = a[:len(dst)], b[:len(dst)]
-	for i := range dst {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d0 := a[i] * b[i]
+		d1 := a[i+1] * b[i+1]
+		d2 := a[i+2] * b[i+2]
+		d3 := a[i+3] * b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] * b[i]
 	}
 }
@@ -145,7 +174,15 @@ func MulFlat(dst, a, b []float64) {
 // DivFlat sets dst[i] = a[i] / b[i].
 func DivFlat(dst, a, b []float64) {
 	a, b = a[:len(dst)], b[:len(dst)]
-	for i := range dst {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d0 := a[i] / b[i]
+		d1 := a[i+1] / b[i+1]
+		d2 := a[i+2] / b[i+2]
+		d3 := a[i+3] / b[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] / b[i]
 	}
 }
@@ -205,7 +242,15 @@ func EqualFlat(dst, a, b []float64) {
 // NegFlat sets dst[i] = -a[i].
 func NegFlat(dst, a []float64) {
 	a = a[:len(dst)]
-	for i := range dst {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d0 := -a[i]
+		d1 := -a[i+1]
+		d2 := -a[i+2]
+		d3 := -a[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = -a[i]
 	}
 }
@@ -237,7 +282,15 @@ func SqrtFlat(dst, a []float64) {
 // SquareFlat sets dst[i] = a[i]*a[i].
 func SquareFlat(dst, a []float64) {
 	a = a[:len(dst)]
-	for i := range dst {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d0 := a[i] * a[i]
+		d1 := a[i+1] * a[i+1]
+		d2 := a[i+2] * a[i+2]
+		d3 := a[i+3] * a[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] * a[i]
 	}
 }
@@ -298,7 +351,15 @@ func OneMinusFlat(dst, a []float64) {
 // ScaleFlat sets dst[i] = a[i] * s.
 func ScaleFlat(dst, a []float64, s float64) {
 	a = a[:len(dst)]
-	for i := range dst {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d0 := a[i] * s
+		d1 := a[i+1] * s
+		d2 := a[i+2] * s
+		d3 := a[i+3] * s
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] * s
 	}
 }
@@ -306,7 +367,15 @@ func ScaleFlat(dst, a []float64, s float64) {
 // AddScalarFlat sets dst[i] = a[i] + s.
 func AddScalarFlat(dst, a []float64, s float64) {
 	a = a[:len(dst)]
-	for i := range dst {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d0 := a[i] + s
+		d1 := a[i+1] + s
+		d2 := a[i+2] + s
+		d3 := a[i+3] + s
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] + s
 	}
 }
