@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, serve, all")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	flag.Parse()
 
@@ -31,10 +31,10 @@ func main() {
 
 	runners := map[string]func(benchkit.Scale) error{
 		"5a": fig5a, "5b": fig5b, "6": fig6, "7a": fig7a, "7b": fig7b, "8": fig8, "9": fig9,
-		"chaos": chaos, "plan": figPlan, "kernels": figKernels, "conv": figConv,
+		"chaos": chaos, "plan": figPlan, "kernels": figKernels, "conv": figConv, "serve": figServe,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv"} {
+		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv", "serve"} {
 			if err := runners[k](scale); err != nil {
 				log.Fatalf("figure %s: %v", k, err)
 			}
@@ -370,6 +370,30 @@ func figConv(s benchkit.Scale) error {
 		fmt.Printf("acceptance: %s: %.3f (threshold %.2f): %v\n", a.Benchmark, a.Value, a.Threshold, a.Pass)
 	}
 	fmt.Println("wrote BENCH_conv.json")
+	return nil
+}
+
+// figServe measures closed-loop inference serving with and without the
+// serve package's dynamic micro-batching on the same static DQN, recording
+// throughput, latency quantiles, and the >= 2x batched-throughput gate in
+// BENCH_serve.json. The cmd/rlgraph-serve driver exposes the same workload
+// with tunable knobs.
+func figServe(s benchkit.Scale) error {
+	header("Serving — micro-batched vs unbatched closed-loop inference")
+	rep, err := benchkit.ServeBench(s.ServeClients, s.ServeDuration, s.ServeMaxBatch, s.ServeFlush)
+	if err != nil {
+		return err
+	}
+	for _, m := range []benchkit.ServeModeResult{rep.Unbatched, rep.Batched} {
+		fmt.Printf("mode=%-10s clients=%-3d rps=%-10.0f p50_ms=%-8.3f p95_ms=%-8.3f p99_ms=%-8.3f mean_batch=%-6.1f arena_hit=%.2f\n",
+			m.Mode, m.Clients, m.Throughput, m.P50Ms, m.P95Ms, m.P99Ms, m.MeanBatch, m.ArenaHitRate)
+	}
+	gate, err := benchkit.WriteServeJSON(rep, "BENCH_serve.json")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("acceptance: %s: %.2fx >= %.1fx at %d clients: %v (wrote BENCH_serve.json)\n",
+		gate.Benchmark, gate.Speedup, gate.Threshold, gate.Clients, gate.Pass)
 	return nil
 }
 

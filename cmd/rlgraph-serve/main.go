@@ -1,0 +1,61 @@
+// Command rlgraph-serve is the closed-loop load driver for the serving
+// layer: it builds a static dueling DQN, drives N concurrent clients against
+// it with and without dynamic micro-batching, prints both modes' throughput
+// and latency quantiles, and writes BENCH_serve.json with the acceptance
+// gate (batched >= 2x unbatched at >= 8 clients).
+//
+// Usage:
+//
+//	rlgraph-serve                      # 32 clients, 2s per mode, batch 64
+//	rlgraph-serve -clients 16 -duration 5s
+//	rlgraph-serve -quick               # smoke-test window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rlgraph/internal/benchkit"
+)
+
+func main() {
+	clients := flag.Int("clients", 32, "concurrent closed-loop clients per mode")
+	duration := flag.Duration("duration", 2*time.Second, "measurement window per mode")
+	batch := flag.Int("batch", 64, "micro-batcher max batch size")
+	flush := flag.Duration("flush", 50*time.Microsecond, "micro-batcher flush latency")
+	quick := flag.Bool("quick", false, "shrink the window to a smoke test")
+	out := flag.String("out", "BENCH_serve.json", "report path")
+	flag.Parse()
+
+	if *quick {
+		*duration = 500 * time.Millisecond
+	}
+
+	fmt.Printf("serving gridworld8 dueling-dqn dense8x8: %d clients, %v per mode, batch<=%d, flush=%v\n",
+		*clients, *duration, *batch, *flush)
+	rep, err := benchkit.ServeBench(*clients, *duration, *batch, *flush)
+	if err != nil {
+		log.Fatalf("serve bench: %v", err)
+	}
+	for _, m := range []benchkit.ServeModeResult{rep.Unbatched, rep.Batched} {
+		fmt.Printf("mode=%-10s clients=%-3d requests=%-8d errors=%-4d rps=%-10.0f p50_ms=%-8.3f p95_ms=%-8.3f p99_ms=%-8.3f",
+			m.Mode, m.Clients, m.Requests, m.Errors, m.Throughput, m.P50Ms, m.P95Ms, m.P99Ms)
+		if m.Mode == "batched" {
+			fmt.Printf(" batches=%-6d mean_batch=%-6.1f arena_hit=%.2f", m.Batches, m.MeanBatch, m.ArenaHitRate)
+		}
+		fmt.Println()
+	}
+
+	gate, err := benchkit.WriteServeJSON(rep, *out)
+	if err != nil {
+		log.Fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("acceptance: batched/unbatched throughput %.2fx (threshold %.1fx, %d clients): pass=%v (wrote %s)\n",
+		gate.Speedup, gate.Threshold, gate.Clients, gate.Pass, *out)
+	if !gate.Pass {
+		os.Exit(1)
+	}
+}

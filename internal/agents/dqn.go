@@ -339,6 +339,14 @@ func (a *DQN) Build() (*exec.BuildReport, error) {
 // Executor exposes the graph executor (benchmarks, inspection).
 func (a *DQN) Executor() exec.Executor { return a.executor }
 
+// StateSpace returns the agent's observation space (the element space of
+// one get_actions row — the serving layer validates single-observation
+// requests against it before batching them).
+func (a *DQN) StateSpace() spaces.Space { return a.stateSpace }
+
+// ActionSpace returns the agent's discrete action space.
+func (a *DQN) ActionSpace() *spaces.IntBox { return a.actionSpace }
+
 // Root exposes the root component.
 func (a *DQN) Root() *component.Component { return a.root }
 

@@ -207,6 +207,12 @@ func (a *IMPALA) Build() (*exec.BuildReport, error) {
 // Executor exposes the graph executor.
 func (a *IMPALA) Executor() exec.Executor { return a.executor }
 
+// StateSpace returns the agent's observation space.
+func (a *IMPALA) StateSpace() spaces.Space { return a.stateSpace }
+
+// ActionSpace returns the agent's discrete action space.
+func (a *IMPALA) ActionSpace() *spaces.IntBox { return a.actionSpace }
+
 // Root exposes the root component.
 func (a *IMPALA) Root() *component.Component { return a.root }
 

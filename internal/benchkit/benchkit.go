@@ -66,6 +66,13 @@ type Scale struct {
 	// its buffer-reuse allocation measurement.
 	ConvIters      int
 	ConvReuseIters int
+	// ServeClients/ServeDuration/ServeMaxBatch/ServeFlush configure the
+	// micro-batching serving benchmark (closed-loop clients per mode, the
+	// measurement window, and the batcher's size-or-timer policy).
+	ServeClients  int
+	ServeDuration time.Duration
+	ServeMaxBatch int
+	ServeFlush    time.Duration
 }
 
 // LaptopScale is the default scaled-down experiment preset.
@@ -90,6 +97,10 @@ func LaptopScale() Scale {
 		KernelReuseIters:  200,
 		ConvIters:         30,
 		ConvReuseIters:    200,
+		ServeClients:      32,
+		ServeDuration:     2 * time.Second,
+		ServeMaxBatch:     64,
+		ServeFlush:        50 * time.Microsecond,
 	}
 }
 
@@ -115,6 +126,9 @@ func QuickScale() Scale {
 	s.KernelReuseIters = 20
 	s.ConvIters = 5
 	s.ConvReuseIters = 20
+	// ServeClients stays at full scale: the acceptance gate requires >= 8
+	// concurrent clients, and batch amortization needs the concurrency.
+	s.ServeDuration = 500 * time.Millisecond
 	return s
 }
 

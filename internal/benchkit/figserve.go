@@ -1,0 +1,318 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/components/nn"
+	"rlgraph/internal/components/optimizers"
+	"rlgraph/internal/envs"
+	"rlgraph/internal/serve"
+	"rlgraph/internal/tensor"
+)
+
+// ServeModeResult is one closed-loop serving measurement: Clients goroutines
+// each issue single-observation inference requests back-to-back for the
+// measurement window.
+type ServeModeResult struct {
+	// Mode is "unbatched" (each client executes its own [1,elem] batch
+	// directly) or "batched" (all clients go through the serve.Service
+	// micro-batcher).
+	Mode     string `json:"mode"`
+	Clients  int    `json:"clients"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	// Throughput is completed requests per second over the window.
+	DurationSec float64 `json:"duration_sec"`
+	Throughput  float64 `json:"throughput_rps"`
+	// P50/P95/P99 are per-request latency quantiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Batches/MeanBatch/ArenaHitRate describe the batcher (batched mode
+	// only; unbatched leaves them zero).
+	Batches      int64   `json:"batches,omitempty"`
+	MeanBatch    float64 `json:"mean_batch,omitempty"`
+	ArenaHitRate float64 `json:"arena_hit_rate,omitempty"`
+}
+
+// ServeBenchReport is the BENCH_serve.json payload (minus header and
+// acceptance block): the same workload served with and without micro-batch
+// coalescing, and the throughput ratio the acceptance gate keys off.
+type ServeBenchReport struct {
+	Workload  string          `json:"workload"`
+	Clients   int             `json:"clients"`
+	MaxBatch  int             `json:"max_batch"`
+	FlushUs   float64         `json:"flush_us"`
+	Unbatched ServeModeResult `json:"unbatched"`
+	Batched   ServeModeResult `json:"batched"`
+	// Speedup is batched throughput over unbatched throughput — gated at
+	// >= 2 with >= 8 clients.
+	Speedup float64 `json:"speedup"`
+}
+
+// serveNet is the serving workload trunk: a deep, narrow net in the regime
+// session batching exists to amortize — per-call graph-execution overhead
+// grows with node count while per-row compute stays small, so one batched
+// plan run is far cheaper than B single-row runs. (Wide nets are
+// compute-bound per row; batching then neither helps nor hurts on one
+// core.)
+func serveNet() []nn.LayerSpec {
+	specs := make([]nn.LayerSpec, 0, 8)
+	for i := 0; i < 8; i++ {
+		specs = append(specs, nn.LayerSpec{Type: "dense", Units: 8, Activation: "relu"})
+	}
+	return specs
+}
+
+// buildServeAgent builds the static dueling DQN the serve bench queries.
+func buildServeAgent(seed int64) (*agents.DQN, *envs.GridWorld, error) {
+	env := envs.NewGridWorld(8, seed) // 64-dim one-hot observations
+	cfg := agents.DQNConfig{
+		Backend:         "static",
+		Network:         serveNet(),
+		Dueling:         true,
+		DuelingHidden:   16,
+		Gamma:           0.99,
+		Memory:          agents.MemoryConfig{Type: "replay", Capacity: 512},
+		Optimizer:       optimizers.Config{Type: "adam", LearningRate: 1e-4},
+		Exploration:     agents.ExplorationConfig{Initial: 1, Final: 0.02, DecaySteps: 10000},
+		BatchSize:       32,
+		TargetSyncEvery: 100,
+		Seed:            seed,
+	}
+	a, err := agents.NewDQN(cfg, env.StateSpace(), env.ActionSpace())
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := a.Build(); err != nil {
+		return nil, nil, err
+	}
+	return a, env, nil
+}
+
+// serveObsPool collects a pool of distinct observations by walking the env.
+func serveObsPool(env *envs.GridWorld, n int) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(99))
+	pool := make([]*tensor.Tensor, 0, n)
+	cur := env.Reset()
+	for len(pool) < n {
+		pool = append(pool, cur.Clone())
+		next, _, done := env.Step(rng.Intn(4))
+		if done {
+			next = env.Reset()
+		}
+		cur = next
+	}
+	return pool
+}
+
+// warmupFor sizes the untimed warm-up loop run before each measured window:
+// long enough to fault in plan caches, arena pools, and scheduler state, but
+// capped so -quick runs stay quick.
+func warmupFor(window time.Duration) time.Duration {
+	w := window / 4
+	if w > 200*time.Millisecond {
+		w = 200 * time.Millisecond
+	}
+	return w
+}
+
+// closedLoop drives clients goroutines calling act back-to-back for window,
+// collecting request count, error count, and per-request latencies.
+func closedLoop(clients int, window time.Duration, pool []*tensor.Tensor,
+	act func(obs *tensor.Tensor) error) (requests, errs int64, lats []time.Duration) {
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		nReq    atomic.Int64
+		nErr    atomic.Int64
+		allLats []time.Duration
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			for i := c; !stop.Load(); i++ {
+				obs := pool[i%len(pool)]
+				t0 := time.Now()
+				err := act(obs)
+				local = append(local, time.Since(t0))
+				nReq.Add(1)
+				if err != nil {
+					nErr.Add(1)
+				}
+			}
+			mu.Lock()
+			allLats = append(allLats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	return nReq.Load(), nErr.Load(), allLats
+}
+
+func latQuantileMs(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return float64(lats[int(q*float64(len(lats)-1))]) / float64(time.Millisecond)
+}
+
+// ServeBench measures closed-loop greedy-action serving throughput with and
+// without dynamic micro-batching on the same static-graph agent. Each mode
+// gets a freshly built agent so arena counters and plan caches don't bleed
+// across modes.
+func ServeBench(clients int, window time.Duration, maxBatch int, flush time.Duration) (*ServeBenchReport, error) {
+	rep := &ServeBenchReport{
+		Workload: "gridworld8 dueling-dqn dense8x8 get_actions_greedy",
+		Clients:  clients,
+		MaxBatch: maxBatch,
+		FlushUs:  float64(flush) / float64(time.Microsecond),
+	}
+
+	// --- unbatched: every client runs its own [1,elem] executor call ------
+	a, env, err := buildServeAgent(3)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: serve unbatched build: %w", err)
+	}
+	elem := a.StateSpace().Shape()
+	pool := serveObsPool(env, 256)
+	ex := a.Executor()
+	unbatchedAct := func(obs *tensor.Tensor) error {
+		in, err := tensor.StackRows(elem, []*tensor.Tensor{obs})
+		if err != nil {
+			return err
+		}
+		_, err = ex.Execute("get_actions_greedy", in)
+		return err
+	}
+	closedLoop(clients, warmupFor(window), pool, unbatchedAct) // warm plans/arena
+	req, errs, lats := closedLoop(clients, window, pool, unbatchedAct)
+	rep.Unbatched = ServeModeResult{
+		Mode: "unbatched", Clients: clients,
+		Requests: req, Errors: errs,
+		DurationSec: window.Seconds(),
+		Throughput:  float64(req-errs) / window.Seconds(),
+		P50Ms:       latQuantileMs(lats, 0.50),
+		P95Ms:       latQuantileMs(lats, 0.95),
+		P99Ms:       latQuantileMs(lats, 0.99),
+	}
+
+	// --- batched: the same traffic through the micro-batching service -----
+	a2, env2, err := buildServeAgent(3)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: serve batched build: %w", err)
+	}
+	pool2 := serveObsPool(env2, 256)
+	svc := serve.NewForDQN(a2, false, serve.Config{
+		MaxBatch:     maxBatch,
+		FlushLatency: flush,
+		Block:        true, // closed loop: clients wait for space, never shed
+	})
+	batchedAct := func(obs *tensor.Tensor) error {
+		_, err := svc.Act(obs, time.Time{})
+		return err
+	}
+	closedLoop(clients, warmupFor(window), pool2, batchedAct) // warm plans/arena
+	warm := svc.Metrics() // subtract warm-up traffic from the reported batcher stats
+	req, errs, lats = closedLoop(clients, window, pool2, batchedAct)
+	m := svc.Metrics()
+	m.Batches -= warm.Batches
+	if m.Batches > 0 {
+		m.MeanBatch = float64(m.Completed-warm.Completed) / float64(m.Batches)
+	}
+	if err := svc.Close(); err != nil {
+		return nil, fmt.Errorf("benchkit: serve batched close: %w", err)
+	}
+	rep.Batched = ServeModeResult{
+		Mode: "batched", Clients: clients,
+		Requests: req, Errors: errs,
+		DurationSec: window.Seconds(),
+		Throughput:  float64(req-errs) / window.Seconds(),
+		P50Ms:       latQuantileMs(lats, 0.50),
+		P95Ms:       latQuantileMs(lats, 0.95),
+		P99Ms:       latQuantileMs(lats, 0.99),
+		Batches:     m.Batches, MeanBatch: m.MeanBatch,
+		ArenaHitRate: m.ArenaHitRate,
+	}
+
+	if rep.Unbatched.Throughput > 0 {
+		rep.Speedup = rep.Batched.Throughput / rep.Unbatched.Throughput
+	}
+	return rep, nil
+}
+
+// ServeGate is the serving acceptance record embedded in BENCH_serve.json:
+// batched throughput must be at least Threshold times unbatched throughput
+// with at least 8 concurrent clients.
+type ServeGate struct {
+	Benchmark string  `json:"benchmark"`
+	Clients   int     `json:"clients"`
+	Speedup   float64 `json:"speedup"`
+	Threshold float64 `json:"threshold"`
+	Pass      bool    `json:"pass"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// ServeGateThreshold is the acceptance bar: batched >= 2x unbatched.
+const ServeGateThreshold = 2.0
+
+// ServeAcceptance evaluates the throughput gate for a report.
+func ServeAcceptance(rep *ServeBenchReport) ServeGate {
+	g := ServeGate{
+		Benchmark: "serve batched vs unbatched closed-loop throughput",
+		Clients:   rep.Clients,
+		Speedup:   rep.Speedup,
+		Threshold: ServeGateThreshold,
+		Pass:      rep.Clients >= 8 && rep.Speedup >= ServeGateThreshold,
+	}
+	if rep.Clients < 8 {
+		g.Note = fmt.Sprintf("gate requires >= 8 concurrent clients, ran %d", rep.Clients)
+	}
+	return g
+}
+
+// WriteServeJSON writes the report (with header and acceptance gate) to path.
+func WriteServeJSON(rep *ServeBenchReport, path string) (ServeGate, error) {
+	report := struct {
+		Header BenchHeader `json:"header"`
+		*ServeBenchReport
+		Acceptance ServeGate `json:"acceptance"`
+	}{Header: NewBenchHeader(), ServeBenchReport: rep, Acceptance: ServeAcceptance(rep)}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return report.Acceptance, err
+	}
+	return report.Acceptance, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ServeRows renders the report as printable series rows.
+func ServeRows(rep *ServeBenchReport) []Row {
+	rows := make([]Row, 0, 2)
+	for _, m := range []ServeModeResult{rep.Unbatched, rep.Batched} {
+		rows = append(rows, Row{
+			Labels: map[string]string{"mode": m.Mode},
+			Values: map[string]float64{
+				"clients":    float64(m.Clients),
+				"rps":        m.Throughput,
+				"p50_ms":     m.P50Ms,
+				"p99_ms":     m.P99Ms,
+				"mean_batch": m.MeanBatch,
+			},
+		})
+	}
+	return rows
+}

@@ -116,6 +116,21 @@ func (e *DefineByRunExecutor) execute(api string, inputs ...*tensor.Tensor) ([]*
 	if !e.builtAPIs[api] {
 		return nil, fmt.Errorf("exec: API %q was not built (no input spaces declared)", api)
 	}
+	// Validate feeds against the declared input spaces at the API boundary,
+	// exactly like the static executor does against its placeholders: any
+	// leading batch size matches the wildcard batch/time dims, and a
+	// wrong-shaped input becomes an error instead of a panic inside a graph
+	// function.
+	sps := e.inAPIs[api]
+	if len(inputs) != len(sps) {
+		return nil, fmt.Errorf("exec: API %q wants %d inputs, got %d", api, len(sps), len(inputs))
+	}
+	for i, in := range inputs {
+		sp := sps[i]
+		if err := checkFeed(api, i, sp.String(), placeholderShape(sp), in); err != nil {
+			return nil, err
+		}
+	}
 	var tape *eager.Tape
 	if !a.NoGrad {
 		tape = eager.NewTape()

@@ -77,6 +77,38 @@ func placeholderShape(sp spaces.Space) []int {
 	return append(shape, sp.Shape()...)
 }
 
+// shapeCompatible reports whether a concrete tensor shape matches a
+// wildcard shape (-1 dims, the batch/time ranks of placeholderShape, match
+// any size — including 0, so an all-rows-evicted serving batch still
+// validates).
+func shapeCompatible(want, got []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if want[i] != -1 && want[i] != got[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFeed validates one fed tensor against its wildcard shape so that a
+// wrong-shaped input fails at the API boundary — naming the API, argument
+// index and placeholder — on every backend, instead of panicking deep
+// inside an op evaluation. The serving layer relies on this contract: a bad
+// observation must come back as that request's error, not kill the batcher.
+func checkFeed(api string, arg int, name string, want []int, in *tensor.Tensor) error {
+	if in == nil {
+		return fmt.Errorf("exec: Execute(%q) argument %d (%s): nil tensor", api, arg, name)
+	}
+	if !shapeCompatible(want, in.Shape()) {
+		return fmt.Errorf("exec: Execute(%q) argument %d (%s): tensor shape %v incompatible with placeholder shape %v (-1 matches any dim)",
+			api, arg, name, in.Shape(), want)
+	}
+	return nil
+}
+
 // buildOrder returns the root APIs to build: those with declared input
 // spaces, in registration order. Declaring spaces for a non-existent API is
 // an error; registered APIs without declared spaces are left unbuilt.

@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"rlgraph/internal/tensor"
+)
+
+// Regression tests for API-boundary feed validation on both backends: the
+// wildcard batch dim of a batch-ranked space must accept any leading batch
+// size (the serving batcher feeds whatever micro-batch it assembled,
+// including size 1 and the occasional empty batch), while wrong element
+// shapes, wrong ranks, nil tensors and wrong arg counts must come back as
+// errors naming the API — never as panics from inside an op.
+
+func buildBothBackends(t *testing.T) map[string]Executor {
+	t.Helper()
+	exs := make(map[string]Executor)
+	for _, b := range []string{"static", "define-by-run"} {
+		root, _, _ := pipelineRoot()
+		var ex Executor
+		if b == "static" {
+			ex = NewStatic(root)
+		} else {
+			ex = NewDefineByRun(root)
+		}
+		if _, err := ex.Build(inSpec()); err != nil {
+			t.Fatalf("%s build: %v", b, err)
+		}
+		exs[b] = ex
+	}
+	return exs
+}
+
+func TestExecuteAcceptsAnyLeadingBatchSize(t *testing.T) {
+	for backendName, ex := range buildBothBackends(t) {
+		for _, n := range []int{1, 3, 17} {
+			in := tensor.Ones(n, 3)
+			out, err := ex.Execute("forward", in)
+			if err != nil {
+				t.Fatalf("%s batch=%d: %v", backendName, n, err)
+			}
+			if !tensor.SameShape(out[0].Shape(), []int{n, 3}) {
+				t.Fatalf("%s batch=%d: out shape %v", backendName, n, out[0].Shape())
+			}
+		}
+	}
+}
+
+func TestExecuteRejectsBadFeedsWithErrors(t *testing.T) {
+	for backendName, ex := range buildBothBackends(t) {
+		cases := []struct {
+			name   string
+			inputs []*tensor.Tensor
+		}{
+			{"wrong elem dim", []*tensor.Tensor{tensor.Ones(2, 4)}},
+			{"wrong rank", []*tensor.Tensor{tensor.Ones(3)}},
+			{"nil tensor", []*tensor.Tensor{nil}},
+			{"extra arg", []*tensor.Tensor{tensor.Ones(2, 3), tensor.Ones(2, 3)}},
+			{"missing arg", nil},
+		}
+		for _, c := range cases {
+			_, err := ex.Execute("forward", c.inputs...)
+			if err == nil {
+				t.Fatalf("%s %s: accepted", backendName, c.name)
+			}
+			if !strings.Contains(err.Error(), "forward") {
+				t.Fatalf("%s %s: error does not name the API: %v", backendName, c.name, err)
+			}
+		}
+	}
+}

@@ -199,38 +199,12 @@ func (e *StaticExecutor) Execute(api string, inputs ...*tensor.Tensor) ([]*tenso
 	feeds := make(graph.Feeds, len(inputs))
 	for i, in := range inputs {
 		ph := ent.placeholders[i]
-		if err := checkFeedShape(api, i, ph, in); err != nil {
+		if err := checkFeed(api, i, ph.Name(), ph.Shape(), in); err != nil {
 			return nil, err
 		}
 		feeds[ph] = in
 	}
 	return e.sess.RunCompiled(ent.plan, feeds)
-}
-
-// checkFeedShape validates a fed tensor against its placeholder's static
-// shape (-1 dims are wildcards), so wrong-shaped inputs fail at the API
-// boundary naming the API and argument index instead of deep inside an op
-// evaluation with a node id.
-func checkFeedShape(api string, arg int, ph *graph.Node, in *tensor.Tensor) error {
-	if in == nil {
-		return fmt.Errorf("exec: Execute(%q) argument %d (%s): nil tensor", api, arg, ph.Name())
-	}
-	want := ph.Shape()
-	got := in.Shape()
-	ok := len(got) == len(want)
-	if ok {
-		for i := range want {
-			if want[i] != -1 && want[i] != got[i] {
-				ok = false
-				break
-			}
-		}
-	}
-	if !ok {
-		return fmt.Errorf("exec: Execute(%q) argument %d (%s): tensor shape %v incompatible with placeholder shape %v (-1 matches any dim)",
-			api, arg, ph.Name(), got, want)
-	}
-	return nil
 }
 
 // Variables returns all variables created during the build.

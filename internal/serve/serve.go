@@ -1,0 +1,467 @@
+// Package serve is the agent-inference serving layer: it coalesces
+// concurrent single-observation Act requests into dynamically sized
+// micro-batches and executes each batch as ONE compiled-plan session call —
+// the "session batching" executor concern of the paper, grown into a
+// production envelope around the act() path.
+//
+// A Service owns a bounded admission queue and one batcher goroutine. The
+// batcher collects requests until either the configured batch size is
+// reached or the oldest request has waited the flush latency, evicts
+// entries whose deadline already passed, stacks the surviving observations
+// along the wildcard batch dim (tensor.StackRows), runs the batch through
+// the Runner, and scatters per-row results back to the waiting callers
+// (tensor.SplitRows). Admission applies backpressure when the queue is
+// full: reject-with-ErrQueueFull by default, or block until space frees in
+// Block mode.
+//
+// Deadline semantics follow raysim futures: a deadline miss means the
+// caller has moved on — the batch may still complete later (counted as a
+// late result), but the waiting goroutine returns ErrDeadline the moment
+// its deadline passes, whether the request is queued, in flight, or caught
+// by the batcher's pre-assembly eviction sweep. Every admitted request is
+// resolved exactly once in the metrics by whoever gets there first.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+// Sentinel errors of the serving path.
+var (
+	// ErrQueueFull marks a request shed at admission (queue at QueueDepth
+	// and Block disabled).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDeadline marks a request whose deadline passed before its result
+	// was delivered (the batch may still complete; the caller has moved on).
+	ErrDeadline = errors.New("serve: request deadline exceeded")
+	// ErrClosed marks requests rejected or abandoned because the service is
+	// shut down.
+	ErrClosed = errors.New("serve: service closed")
+	// ErrBadObservation marks a request whose observation failed the
+	// element-space admission check.
+	ErrBadObservation = errors.New("serve: observation not in element space")
+)
+
+// Runner executes one assembled micro-batch: obs is [B, elem...] and the
+// result must carry the same leading batch size. It is always called from
+// the single batcher goroutine, so stateful executors need no extra
+// locking.
+type Runner func(batch *tensor.Tensor) (*tensor.Tensor, error)
+
+// Config tunes the batching policy and the admission envelope.
+type Config struct {
+	// MaxBatch flushes a micro-batch when this many requests are gathered
+	// (default 32).
+	MaxBatch int
+	// FlushLatency flushes a partial batch when the request that opened it
+	// has waited this long (default 1ms) — the max-latency half of the
+	// size-or-timer policy.
+	FlushLatency time.Duration
+	// QueueDepth bounds the admission queue (default 4*MaxBatch).
+	QueueDepth int
+	// Block selects the backpressure mode when the queue is full: false
+	// (default) sheds the request with ErrQueueFull; true blocks the caller
+	// until space frees, the request's deadline passes, or the service
+	// closes.
+	Block bool
+	// Elem optionally declares the element space of one observation;
+	// requests failing spaces.ContainsElement are rejected with
+	// ErrBadObservation before admission. Nil skips the check.
+	Elem spaces.Space
+	// ElemShape is the element shape used to stack observations. Derived
+	// from Elem when nil.
+	ElemShape []int
+	// ArenaStats optionally exposes the executor session's tensor-arena
+	// counters so Metrics can surface buffer-reuse hit rates.
+	ArenaStats func() (gets, hits int64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.FlushLatency <= 0 {
+		c.FlushLatency = time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.ElemShape == nil && c.Elem != nil {
+		c.ElemShape = c.Elem.Shape()
+	}
+	return c
+}
+
+// response is the per-request result envelope.
+type response struct {
+	out *tensor.Tensor
+	err error
+}
+
+// request is one queued Act call.
+type request struct {
+	obs      *tensor.Tensor
+	deadline time.Time // zero = none
+	enq      time.Time
+	done     chan response // buffered 1: delivery never blocks the batcher
+	// resolved is set (CAS) by whoever accounts for the request first — the
+	// caller's deadline timer, the eviction sweep, or result delivery — so
+	// each request lands in exactly one metrics outcome.
+	resolved atomic.Bool
+}
+
+// Service is a micro-batching inference endpoint over one Runner.
+type Service struct {
+	run Runner
+	cfg Config
+
+	mu     sync.Mutex
+	q      []*request
+	closed bool
+
+	kick    chan struct{} // 1-buffered: queue went non-empty
+	closing chan struct{} // closed when shutdown begins
+	done    chan struct{} // closed when the batcher has drained and exited
+
+	m     counters
+	start time.Time
+}
+
+// New starts a service over run. Stop it with Shutdown or Close.
+func New(run Runner, cfg Config) *Service {
+	s := &Service{
+		run:     run,
+		cfg:     cfg.withDefaults(),
+		kick:    make(chan struct{}, 1),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	go s.loop()
+	return s
+}
+
+// Act submits one observation (element-shaped, no batch dim) and blocks
+// until its result row is scattered back, its deadline passes, or the
+// service closes. A zero deadline means wait indefinitely.
+func (s *Service) Act(obs *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
+	if obs == nil {
+		s.m.invalid.Add(1)
+		return nil, fmt.Errorf("%w: nil tensor", ErrBadObservation)
+	}
+	if s.cfg.Elem != nil && !spaces.ContainsElement(s.cfg.Elem, obs) {
+		s.m.invalid.Add(1)
+		return nil, fmt.Errorf("%w: shape %v, element space %s", ErrBadObservation, obs.Shape(), s.cfg.Elem)
+	}
+	if s.cfg.ElemShape != nil && !tensor.SameShape(obs.Shape(), s.cfg.ElemShape) {
+		s.m.invalid.Add(1)
+		return nil, fmt.Errorf("%w: shape %v, want %v", ErrBadObservation, obs.Shape(), s.cfg.ElemShape)
+	}
+	r := &request{obs: obs, deadline: deadline, enq: time.Now(), done: make(chan response, 1)}
+	if err := s.admit(r); err != nil {
+		return nil, err
+	}
+	// Wake the batcher; a dropped kick means one is already pending.
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+	return s.await(r)
+}
+
+// admit appends r to the bounded queue, applying the configured
+// backpressure mode.
+func (s *Service) admit(r *request) error {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if len(s.q) < s.cfg.QueueDepth {
+			s.q = append(s.q, r)
+			s.m.admitted.Add(1)
+			s.mu.Unlock()
+			return nil
+		}
+		s.mu.Unlock()
+		if !s.cfg.Block {
+			s.m.shed.Add(1)
+			return ErrQueueFull
+		}
+		// Block mode: wait for the batcher to drain some queue, bounded by
+		// the request's own deadline.
+		// A deadline that lapses while still waiting for admission counts as
+		// shed (the request never entered the queue), keeping the invariant
+		// Admitted == Completed + DeadlineMisses + Failed exact.
+		var expire <-chan time.Time
+		if !r.deadline.IsZero() {
+			wait := time.Until(r.deadline)
+			if wait <= 0 {
+				s.m.shed.Add(1)
+				return ErrDeadline
+			}
+			expire = time.After(wait)
+		}
+		select {
+		case <-s.drained():
+		case <-expire:
+			s.m.shed.Add(1)
+			return ErrDeadline
+		case <-s.closing:
+			return ErrClosed
+		}
+	}
+}
+
+// drained returns a channel that fires soon after the batcher dequeues
+// work, so blocked admitters re-check for space. A short poll keeps the
+// implementation free of per-dequeue broadcast bookkeeping on the hot path.
+func (s *Service) drained() <-chan time.Time {
+	return time.After(200 * time.Microsecond)
+}
+
+// await blocks on the request's response or its deadline.
+func (s *Service) await(r *request) (*tensor.Tensor, error) {
+	var expire <-chan time.Time
+	if !r.deadline.IsZero() {
+		wait := time.Until(r.deadline)
+		if wait <= 0 {
+			if r.resolved.CompareAndSwap(false, true) {
+				s.m.misses.Add(1)
+			}
+			return nil, ErrDeadline
+		}
+		expire = time.After(wait)
+	}
+	select {
+	case resp := <-r.done:
+		return resp.out, resp.err
+	case <-expire:
+		if r.resolved.CompareAndSwap(false, true) {
+			s.m.misses.Add(1)
+			return nil, ErrDeadline
+		}
+		// The batcher resolved it between the timer firing and the CAS:
+		// the response is already (or about to be) in the buffered channel.
+		resp := <-r.done
+		return resp.out, resp.err
+	}
+}
+
+// loop is the batcher: one goroutine collecting micro-batches until
+// shutdown completes the drain.
+func (s *Service) loop() {
+	defer close(s.done)
+	for {
+		first, ok := s.awaitFirst()
+		if !ok {
+			return
+		}
+		s.dispatch(s.gather(first))
+	}
+}
+
+// awaitFirst blocks until a request can open a batch; ok=false means the
+// service is closed and the queue fully drained.
+func (s *Service) awaitFirst() (*request, bool) {
+	for {
+		s.mu.Lock()
+		if len(s.q) > 0 {
+			r := s.q[0]
+			s.q = s.q[1:]
+			s.mu.Unlock()
+			return r, true
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		select {
+		case <-s.kick:
+		case <-s.closing:
+		}
+	}
+}
+
+// gatherSpin is the tail of the flush window the batcher polls instead of
+// sleeping: OS timer slop on sub-millisecond sleeps would otherwise stretch
+// every flush by milliseconds, destroying the latency the size-or-timer
+// policy promises. The poll costs at most gatherSpin of one core per batch
+// and only while a partial batch is waiting — an idle service blocks in
+// awaitFirst and burns nothing.
+const gatherSpin = time.Millisecond
+
+// gather collects up to MaxBatch requests, waiting at most FlushLatency
+// from the moment the batch opened. During drain (service closing) it
+// flushes whatever is queued without waiting out the timer.
+func (s *Service) gather(first *request) []*request {
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	batch = append(batch, first)
+	flushAt := time.Now().Add(s.cfg.FlushLatency)
+	for {
+		s.mu.Lock()
+		for len(s.q) > 0 && len(batch) < s.cfg.MaxBatch {
+			batch = append(batch, s.q[0])
+			s.q = s.q[1:]
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if len(batch) >= s.cfg.MaxBatch || closed {
+			return batch
+		}
+		wait := time.Until(flushAt)
+		if wait <= 0 {
+			return batch
+		}
+		if wait > gatherSpin {
+			// Coarse sleep through the bulk of a long flush window; the
+			// precise tail below is polled.
+			select {
+			case <-s.kick:
+			case <-time.After(wait - gatherSpin):
+			case <-s.closing:
+			}
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// dispatch evicts expired requests, executes the surviving rows as one
+// Runner call, and scatters results.
+func (s *Service) dispatch(batch []*request) {
+	now := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			if r.resolved.CompareAndSwap(false, true) {
+				s.m.misses.Add(1)
+			}
+			s.m.evicted.Add(1)
+			r.done <- response{err: ErrDeadline}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	obs := make([]*tensor.Tensor, len(live))
+	for i, r := range live {
+		obs[i] = r.obs
+	}
+	elem := s.cfg.ElemShape
+	if elem == nil {
+		// No declared element shape: stack on the first row's shape (later
+		// mismatched rows fail the whole batch with an error, not a panic).
+		elem = live[0].obs.Shape()
+	}
+	stacked, err := tensor.StackRows(elem, obs)
+	var out *tensor.Tensor
+	if err == nil {
+		out, err = s.run(stacked)
+	}
+	if err == nil {
+		if out == nil || out.Rank() == 0 || out.Dim(0) != len(live) {
+			err = fmt.Errorf("serve: runner returned %v for a %d-row batch", shapeOrNil(out), len(live))
+		}
+	}
+	var rows []*tensor.Tensor
+	if err == nil {
+		rows, err = tensor.SplitRows(out)
+	}
+	s.m.batches.Add(1)
+	s.m.batchRows.Add(int64(len(live)))
+	s.m.recordBatchSize(len(live))
+	for i, r := range live {
+		resp := response{err: err}
+		if err == nil {
+			resp = response{out: rows[i]}
+		}
+		if r.resolved.CompareAndSwap(false, true) {
+			if err == nil {
+				s.m.completed.Add(1)
+				s.m.lat.record(time.Since(r.enq))
+			} else {
+				s.m.failed.Add(1)
+			}
+		} else {
+			s.m.late.Add(1)
+		}
+		r.done <- resp
+	}
+}
+
+func shapeOrNil(t *tensor.Tensor) interface{} {
+	if t == nil {
+		return "nil"
+	}
+	return t.Shape()
+}
+
+// Shutdown stops admissions and drains the queue: queued requests are still
+// batched and answered (expired ones evicted) until the queue empties. If
+// ctx expires first, the remaining queue is failed with ErrClosed and an
+// error reports how many requests were abandoned — a shutdown never hangs
+// on a non-empty queue.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.closing)
+	}
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		rest := s.q
+		s.q = nil
+		s.mu.Unlock()
+		for _, r := range rest {
+			if r.resolved.CompareAndSwap(false, true) {
+				s.m.failed.Add(1)
+			}
+			r.done <- response{err: ErrClosed}
+		}
+		if len(rest) > 0 {
+			return fmt.Errorf("serve: shutdown abandoned %d queued requests: %w", len(rest), ctx.Err())
+		}
+		return ctx.Err()
+	}
+}
+
+// Close shuts down immediately: admissions stop and queued requests fail
+// with ErrClosed without being executed. The in-flight batch (if any) still
+// completes.
+func (s *Service) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if err == context.Canceled {
+		// Queue was already empty: the immediate cancel is expected, not an
+		// error. An "abandoned N requests" error passes through untouched.
+		return nil
+	}
+	return err
+}
+
+// QueueDepth reports the current admission-queue length.
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q)
+}

@@ -42,6 +42,37 @@ type Space interface {
 	String() string
 }
 
+// ContainsElement reports whether t is a valid single element of a
+// primitive space, ignoring the space's declared batch/time ranks — the
+// admission-time check for serving APIs that accept one observation per
+// request and batch them internally along the wildcard batch dim. Value
+// constraints (bounds, integrality) are checked like Contains.
+func ContainsElement(sp Space, t *tensor.Tensor) bool {
+	if t == nil {
+		return false
+	}
+	if !tensor.SameShape(t.Shape(), sp.Shape()) {
+		return false
+	}
+	lead := 0
+	if sp.HasBatchRank() {
+		lead++
+	}
+	if sp.HasTimeRank() {
+		lead++
+	}
+	if lead == 0 {
+		return sp.Contains(t)
+	}
+	// Reinstate the lead dims as size-1 so Contains sees the declared rank.
+	shape := make([]int, 0, lead+t.Rank())
+	for i := 0; i < lead; i++ {
+		shape = append(shape, 1)
+	}
+	shape = append(shape, t.Shape()...)
+	return sp.Contains(t.Reshape(shape...))
+}
+
 // box holds the fields shared by the primitive spaces.
 type box struct {
 	shape     []int

@@ -1,0 +1,54 @@
+package tensor
+
+import "fmt"
+
+// Batch-dim gather/scatter helpers for the serving layer.
+//
+// StackRows and SplitRows are the error-returning counterparts of Stack and
+// Unstack: a serving batcher assembles micro-batches from observations
+// submitted by independent callers, so a malformed row must fail that one
+// request with an error instead of panicking the goroutine that batches for
+// everyone else.
+
+// StackRows gathers rows into one batched tensor along a new leading batch
+// dim. Every row must match elemShape exactly; the result has shape
+// [len(rows), elemShape...]. len(rows) == 0 yields a [0, elemShape...]
+// tensor.
+func StackRows(elemShape []int, rows []*Tensor) (*Tensor, error) {
+	n := NumElems(elemShape)
+	out := New(append([]int{len(rows)}, elemShape...)...)
+	for i, r := range rows {
+		if r == nil {
+			return nil, fmt.Errorf("tensor: StackRows row %d is nil", i)
+		}
+		if !SameShape(r.shape, elemShape) {
+			return nil, fmt.Errorf("tensor: StackRows row %d has shape %v, want %v",
+				i, r.shape, elemShape)
+		}
+		copy(out.data[i*n:(i+1)*n], r.data)
+	}
+	return out, nil
+}
+
+// SplitRows scatters a batched tensor back into its leading-dim rows — the
+// inverse of StackRows. Each returned tensor has the element shape
+// batch.Shape()[1:] and owns its storage (mutating one row does not alias
+// the batch or its siblings).
+func SplitRows(batch *Tensor) ([]*Tensor, error) {
+	if batch == nil {
+		return nil, fmt.Errorf("tensor: SplitRows of nil tensor")
+	}
+	if batch.Rank() == 0 {
+		return nil, fmt.Errorf("tensor: SplitRows of rank-0 tensor")
+	}
+	n := batch.shape[0]
+	rest := batch.shape[1:]
+	size := NumElems(rest)
+	outs := make([]*Tensor, n)
+	for i := 0; i < n; i++ {
+		d := make([]float64, size)
+		copy(d, batch.data[i*size:(i+1)*size])
+		outs[i] = FromSlice(d, rest...)
+	}
+	return outs, nil
+}

@@ -1,0 +1,106 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStackRowsMatchesStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := []*Tensor{
+		RandNormal(rng, 0, 1, 3, 4),
+		RandNormal(rng, 0, 1, 3, 4),
+		RandNormal(rng, 0, 1, 3, 4),
+	}
+	got, err := StackRows([]int{3, 4}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Stack(rows...)
+	if !got.Equal(want) {
+		t.Fatalf("StackRows = %v, want %v", got, want)
+	}
+}
+
+func TestStackRowsScalarElems(t *testing.T) {
+	rows := []*Tensor{Scalar(1), Scalar(2), Scalar(3)}
+	got, err := StackRows(nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameShape(got.Shape(), []int{3}) {
+		t.Fatalf("shape = %v, want [3]", got.Shape())
+	}
+	for i, v := range got.Data() {
+		if v != float64(i+1) {
+			t.Fatalf("row %d = %g", i, v)
+		}
+	}
+}
+
+func TestStackRowsEmpty(t *testing.T) {
+	got, err := StackRows([]int{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameShape(got.Shape(), []int{0, 5}) {
+		t.Fatalf("shape = %v, want [0 5]", got.Shape())
+	}
+}
+
+func TestStackRowsRejectsBadRows(t *testing.T) {
+	if _, err := StackRows([]int{2}, []*Tensor{New(2), New(3)}); err == nil {
+		t.Fatal("mismatched row accepted")
+	}
+	if _, err := StackRows([]int{2}, []*Tensor{New(2), nil}); err == nil {
+		t.Fatal("nil row accepted")
+	}
+}
+
+func TestSplitRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	batch := RandNormal(rng, 0, 1, 4, 2, 3)
+	rows, err := SplitRows(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	back, err := StackRows([]int{2, 3}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(batch) {
+		t.Fatal("StackRows(SplitRows(x)) != x")
+	}
+	// Rows own their storage: mutating one must not touch the batch.
+	rows[0].Data()[0] = 999
+	if batch.Data()[0] == 999 {
+		t.Fatal("SplitRows row aliases the batch")
+	}
+}
+
+func TestSplitRowsMatchesUnstack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	batch := RandNormal(rng, 0, 1, 5, 7)
+	rows, err := SplitRows(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Unstack(batch)
+	for i := range rows {
+		if !rows[i].Equal(want[i]) {
+			t.Fatalf("row %d differs from Unstack", i)
+		}
+	}
+}
+
+func TestSplitRowsRejectsScalar(t *testing.T) {
+	if _, err := SplitRows(Scalar(1)); err == nil {
+		t.Fatal("rank-0 accepted")
+	}
+	if _, err := SplitRows(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
