@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, serve, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, serve, fleet, all")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	flag.Parse()
 
@@ -32,9 +32,10 @@ func main() {
 	runners := map[string]func(benchkit.Scale) error{
 		"5a": fig5a, "5b": fig5b, "6": fig6, "7a": fig7a, "7b": fig7b, "8": fig8, "9": fig9,
 		"chaos": chaos, "plan": figPlan, "kernels": figKernels, "conv": figConv, "serve": figServe,
+		"fleet": figFleet,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv", "serve"} {
+		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv", "serve", "fleet"} {
 			if err := runners[k](scale); err != nil {
 				log.Fatalf("figure %s: %v", k, err)
 			}
@@ -394,6 +395,40 @@ func figServe(s benchkit.Scale) error {
 	}
 	fmt.Printf("acceptance: %s: %.2fx >= %.1fx at %d clients: %v (wrote BENCH_serve.json)\n",
 		gate.Benchmark, gate.Speedup, gate.Threshold, gate.Clients, gate.Pass)
+	return nil
+}
+
+// figFleet measures the sharded serving fleet (internal/fleet): closed-loop
+// throughput scaling across replica counts, request p99 under continuous
+// weight hot-swaps vs a swap-free baseline, and availability through a
+// replica kill. Results and acceptance gates land in BENCH_fleet.json; the
+// 1.7x scaling gate applies only with GOMAXPROCS >= 4 (replicas need cores
+// to scale across), falling back to the kill-availability gate on smaller
+// machines — the same convention as the kernel and conv benches.
+func figFleet(s benchkit.Scale) error {
+	header("Serving fleet — replica scaling, hot-swap pause, kill availability")
+	rep, err := benchkit.FleetBench(s.FleetClients, s.FleetDuration, s.ServeMaxBatch, s.ServeFlush,
+		s.FleetReplicas, s.FleetSwapEvery)
+	if err != nil {
+		return err
+	}
+	for _, p := range rep.Scaling {
+		fmt.Printf("scaling replicas=%-2d rps=%-10.0f p50_ms=%-8.3f p99_ms=%-8.3f errors=%d\n",
+			p.Replicas, p.Throughput, p.P50Ms, p.P99Ms, p.Errors)
+	}
+	fmt.Printf("swap rollouts=%-4d roll_p99_ms=%-8.3f req_p99_ms no_swap=%-8.3f swapping=%-8.3f errors=%d\n",
+		rep.Swap.Swaps, rep.Swap.RollP99Ms, rep.Swap.ReqP99NoSwapMs, rep.Swap.ReqP99SwapMs, rep.Swap.Errors)
+	fmt.Printf("kill requests=%-7d completed=%-7d failed=%-3d unroutable=%-3d restarts=%-2d availability=%.4f identity_exact=%v\n",
+		rep.Kill.Requests, rep.Kill.Completed, rep.Kill.Failed, rep.Kill.Unroutable,
+		rep.Kill.Restarts, rep.Kill.Availability, rep.Kill.IdentityExact)
+	gates, err := benchkit.WriteFleetJSON(rep, "BENCH_fleet.json")
+	if err != nil {
+		return err
+	}
+	for _, g := range gates {
+		fmt.Printf("acceptance: %s: %.3f vs %.3f: %v\n", g.Benchmark, g.Value, g.Threshold, g.Pass)
+	}
+	fmt.Println("wrote BENCH_fleet.json")
 	return nil
 }
 

@@ -73,6 +73,14 @@ type Scale struct {
 	ServeDuration time.Duration
 	ServeMaxBatch int
 	ServeFlush    time.Duration
+	// FleetClients/FleetDuration/FleetReplicas/FleetSwapEvery configure the
+	// sharded serving-fleet benchmark (closed-loop clients, per-point
+	// window, the replica counts of the scaling sweep, and the cadence of
+	// the continuous hot-swap load).
+	FleetClients   int
+	FleetDuration  time.Duration
+	FleetReplicas  []int
+	FleetSwapEvery time.Duration
 }
 
 // LaptopScale is the default scaled-down experiment preset.
@@ -101,6 +109,10 @@ func LaptopScale() Scale {
 		ServeDuration:     2 * time.Second,
 		ServeMaxBatch:     64,
 		ServeFlush:        50 * time.Microsecond,
+		FleetClients:      16,
+		FleetDuration:     time.Second,
+		FleetReplicas:     []int{1, 2, 3},
+		FleetSwapEvery:    20 * time.Millisecond,
 	}
 }
 
@@ -129,6 +141,7 @@ func QuickScale() Scale {
 	// ServeClients stays at full scale: the acceptance gate requires >= 8
 	// concurrent clients, and batch amortization needs the concurrency.
 	s.ServeDuration = 500 * time.Millisecond
+	s.FleetDuration = 300 * time.Millisecond
 	return s
 }
 

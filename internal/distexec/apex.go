@@ -67,8 +67,10 @@ type ApexConfig struct {
 	// MinHealthyWorkers fails the run when fewer workers survive
 	// (default 1).
 	MinHealthyWorkers int
-	// RestartBackoff is the initial supervised-restart delay; it doubles
-	// per retry up to a 2s cap (default 50ms).
+	// RestartBackoff is the initial supervised-restart window; it doubles
+	// per retry up to a 2s cap (default 50ms). The actual sleep is drawn
+	// with full jitter — uniform in [0, window) — so simultaneous failures
+	// don't restart in lockstep.
 	RestartBackoff time.Duration
 	// CallTimeout bounds every executor-issued remote call (default 30s,
 	// negative = no deadline). A hung actor costs one timed-out call, not
@@ -400,15 +402,16 @@ func (e *ApexExecutor) restartShard(i int, old *raysim.ActorRef) bool {
 }
 
 // superviseWorker restarts a failed worker actor with capped exponential
-// backoff, re-syncing learner weights into the fresh incarnation. Returns
-// nil when the restart budget is exhausted (or the run is stopping).
+// backoff under full jitter (the actual sleep is uniform in [0, backoff)),
+// re-syncing learner weights into the fresh incarnation. Returns nil when
+// the restart budget is exhausted (or the run is stopping).
 func (e *ApexExecutor) superviseWorker(wi int, restarts *int, backoff *time.Duration, stop chan struct{}) *raysim.ActorRef {
 	for *restarts < e.cfg.MaxWorkerRestarts {
 		*restarts++
 		select {
 		case <-stop:
 			return nil
-		case <-time.After(*backoff):
+		case <-time.After(jitterDelay(*backoff)):
 		}
 		if *backoff *= 2; *backoff > maxRestartBackoff {
 			*backoff = maxRestartBackoff

@@ -32,8 +32,10 @@ type IMPALAConfig struct {
 	MaxActorRestarts int
 	// MinHealthyActors fails the run when fewer actors survive (default 1).
 	MinHealthyActors int
-	// RestartBackoff is the initial supervised-restart delay; it doubles
-	// per retry up to a 2s cap (default 50ms).
+	// RestartBackoff is the initial supervised-restart window; it doubles
+	// per retry up to a 2s cap (default 50ms). The actual sleep is drawn
+	// with full jitter — uniform in [0, window) — so simultaneous failures
+	// don't restart in lockstep.
 	RestartBackoff time.Duration
 	// BaselineOverheads enables the DeepMind-reference inefficiencies
 	// (redundant actor variable assignments, unstage preprocessing copies)
@@ -270,8 +272,9 @@ func (e *IMPALAExecutor) actorIter(st *impalaActorState) (err error) {
 }
 
 // superviseActor rebuilds a crashed rollout actor from the factory with
-// capped exponential backoff and re-syncs learner weights. Returns false
-// when the restart budget is exhausted or the run is stopping.
+// capped exponential backoff under full jitter (the actual sleep is uniform
+// in [0, backoff)) and re-syncs learner weights. Returns false when the
+// restart budget is exhausted or the run is stopping.
 func (e *IMPALAExecutor) superviseActor(i int, st *impalaActorState, restarts *int,
 	backoff *time.Duration, stop chan struct{}) bool {
 	for *restarts < e.cfg.MaxActorRestarts {
@@ -279,7 +282,7 @@ func (e *IMPALAExecutor) superviseActor(i int, st *impalaActorState, restarts *i
 		select {
 		case <-stop:
 			return false
-		case <-time.After(*backoff):
+		case <-time.After(jitterDelay(*backoff)):
 		}
 		if *backoff *= 2; *backoff > maxRestartBackoff {
 			*backoff = maxRestartBackoff

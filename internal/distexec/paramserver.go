@@ -18,6 +18,13 @@ type ParameterServer struct {
 	weights map[string]*tensor.Tensor
 	version int64
 
+	// subs are version-change subscribers (see Subscribe). Each channel is
+	// 1-buffered and coalescing: a slow subscriber sees only the newest
+	// version, never a backlog, and a write never blocks on a reader.
+	subMu  sync.Mutex
+	subs   map[int]chan int64
+	nextID int
+
 	// Pushes and Pulls count synchronization operations (read with
 	// PushCount/PullCount).
 	pushes, pulls int64
@@ -69,7 +76,9 @@ func (ps *ParameterServer) Push(weights map[string]*tensor.Tensor) (int64, error
 	}
 	ps.version++
 	atomic.AddInt64(&ps.pushes, 1)
-	return ps.version, nil
+	v := ps.version
+	ps.notify(v)
+	return v, nil
 }
 
 // ApplyDelta adds scale*delta into the global weights (asynchronous
@@ -89,7 +98,9 @@ func (ps *ParameterServer) ApplyDelta(delta map[string]*tensor.Tensor, scale flo
 	}
 	ps.version++
 	atomic.AddInt64(&ps.pushes, 1)
-	return ps.version, nil
+	v := ps.version
+	ps.notify(v)
+	return v, nil
 }
 
 // PushCount returns the number of writes applied.
@@ -101,4 +112,55 @@ func (ps *ParameterServer) PullCount() int64 { return atomic.LoadInt64(&ps.pulls
 // Staleness returns how many versions behind a pulled snapshot is.
 func (ps *ParameterServer) Staleness(pulledVersion int64) int64 {
 	return ps.Version() - pulledVersion
+}
+
+// Subscribe registers a version-change subscriber: the returned channel
+// receives the new version number after every Push/ApplyDelta. The channel
+// is coalescing — when the subscriber lags, intermediate versions are
+// dropped and only the newest is delivered — so a write never blocks and a
+// reader always converges on the latest version. cancel unregisters the
+// subscriber and closes the channel; it is safe to call more than once.
+//
+// This is the publisher hook of the serving-fleet weight pipeline: a fleet
+// publisher subscribes, pulls a snapshot on every notification, and swaps it
+// into replicas between batches.
+func (ps *ParameterServer) Subscribe() (ch <-chan int64, cancel func()) {
+	ps.subMu.Lock()
+	if ps.subs == nil {
+		ps.subs = make(map[int]chan int64)
+	}
+	id := ps.nextID
+	ps.nextID++
+	c := make(chan int64, 1)
+	ps.subs[id] = c
+	ps.subMu.Unlock()
+	return c, func() {
+		ps.subMu.Lock()
+		if sc, ok := ps.subs[id]; ok {
+			delete(ps.subs, id)
+			close(sc)
+		}
+		ps.subMu.Unlock()
+	}
+}
+
+// notify delivers v to every subscriber, coalescing onto the 1-buffered
+// channels: replace a stale pending value rather than block.
+func (ps *ParameterServer) notify(v int64) {
+	ps.subMu.Lock()
+	defer ps.subMu.Unlock()
+	for _, c := range ps.subs {
+		select {
+		case c <- v:
+		default:
+			select {
+			case <-c: // drop the stale pending version
+			default:
+			}
+			select {
+			case c <- v:
+			default:
+			}
+		}
+	}
 }

@@ -198,3 +198,152 @@ func TestAsyncPSTraining(t *testing.T) {
 		t.Fatalf("async PS training did not improve: %g → %g", lossBefore, lossAfter)
 	}
 }
+
+// TestParameterServerVersionMonotonicUnderConcurrentWrites hammers Push and
+// ApplyDelta from many goroutines and asserts every write observed a unique,
+// monotonically assigned version: no two writers can be told the same
+// version, no version is skipped, and the final Version equals the write
+// count.
+func TestParameterServerVersionMonotonicUnderConcurrentWrites(t *testing.T) {
+	ps := NewParameterServer(psInit())
+	const writers, perWriter = 8, 50
+	versions := make(chan int64, writers*perWriter)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				var v int64
+				var err error
+				if (g+i)%2 == 0 {
+					v, err = ps.Push(map[string]*tensor.Tensor{"b": tensor.Scalar(float64(i))})
+				} else {
+					v, err = ps.ApplyDelta(map[string]*tensor.Tensor{"b": tensor.Scalar(1)}, 0.1)
+				}
+				if err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+				versions <- v
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(versions)
+	seen := make(map[int64]bool)
+	var max int64
+	for v := range versions {
+		if v <= 0 {
+			t.Fatalf("non-positive version %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("version %d handed to two writers", v)
+		}
+		seen[v] = true
+		if v > max {
+			max = v
+		}
+	}
+	total := int64(writers * perWriter)
+	if max != total || ps.Version() != total {
+		t.Fatalf("final version %d (max observed %d), want %d", ps.Version(), max, total)
+	}
+	for v := int64(1); v <= total; v++ {
+		if !seen[v] {
+			t.Fatalf("version %d skipped", v)
+		}
+	}
+}
+
+// TestParameterServerStalenessDuringConcurrentPushes interleaves pullers
+// with a pusher and asserts the staleness arithmetic never wraps around: a
+// pull that lands during a push must never report a version newer than the
+// server's (negative staleness), and once writes stop, staleness converges
+// to zero.
+func TestParameterServerStalenessDuringConcurrentPushes(t *testing.T) {
+	ps := NewParameterServer(psInit())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastV int64 = -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, v := ps.Pull()
+				if v < lastV {
+					t.Errorf("pulled version went backwards: %d after %d", v, lastV)
+					return
+				}
+				lastV = v
+				if st := ps.Staleness(v); st < 0 {
+					t.Errorf("negative staleness %d for pulled version %d", st, v)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := ps.Push(map[string]*tensor.Tensor{"b": tensor.Scalar(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if _, v := ps.Pull(); ps.Staleness(v) != 0 {
+		t.Fatalf("quiescent staleness = %d, want 0", ps.Staleness(v))
+	}
+}
+
+// TestParameterServerSubscribeCoalesces checks the snapshot-subscription
+// contract: a subscriber is notified of writes, a lagging subscriber sees
+// the newest version rather than a backlog, and cancel closes the channel.
+func TestParameterServerSubscribeCoalesces(t *testing.T) {
+	ps := NewParameterServer(psInit())
+	ch, cancel := ps.Subscribe()
+	// Burst of pushes with no reader: the 1-buffered channel must coalesce
+	// onto the newest version.
+	var last int64
+	for i := 0; i < 10; i++ {
+		v, err := ps.Push(map[string]*tensor.Tensor{"b": tensor.Scalar(float64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = v
+	}
+	select {
+	case v := <-ch:
+		if v != last {
+			t.Fatalf("coalesced notification = %d, want newest %d", v, last)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no notification delivered")
+	}
+	// Channel is now drained: the next write notifies again.
+	v, err := ps.ApplyDelta(map[string]*tensor.Tensor{"b": tensor.Scalar(1)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-ch:
+		if got != v {
+			t.Fatalf("notification = %d, want %d", got, v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no notification after drain")
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after cancel")
+	}
+	cancel() // idempotent
+	if _, err := ps.Push(map[string]*tensor.Tensor{"b": tensor.Scalar(9)}); err != nil {
+		t.Fatalf("push after cancel: %v", err)
+	}
+}

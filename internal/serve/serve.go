@@ -83,6 +83,12 @@ type Config struct {
 	// ArenaStats optionally exposes the executor session's tensor-arena
 	// counters so Metrics can surface buffer-reuse hit rates.
 	ArenaStats func() (gets, hits int64)
+	// Version, when set, is sampled once per dispatched batch (in the
+	// batcher goroutine, before the Runner call) and stamped into every
+	// response of that batch — the weight-version tag the fleet layer uses
+	// to prove which snapshot served a request. Swaps installed through
+	// Barrier therefore change the stamp exactly at a batch boundary.
+	Version func() int64
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +111,17 @@ func (c Config) withDefaults() Config {
 type response struct {
 	out *tensor.Tensor
 	err error
+	// version is the weight-version stamp of the batch that produced this
+	// response (0 when Config.Version is unset or the request never reached
+	// a batch).
+	version int64
+}
+
+// barrierReq is one function waiting to run in the batcher goroutine
+// between batches (see Barrier).
+type barrierReq struct {
+	fn   func() error
+	done chan error // buffered 1: the batcher's reply never blocks
 }
 
 // request is one queued Act call.
@@ -128,9 +145,10 @@ type Service struct {
 	q      []*request
 	closed bool
 
-	kick    chan struct{} // 1-buffered: queue went non-empty
-	closing chan struct{} // closed when shutdown begins
-	done    chan struct{} // closed when the batcher has drained and exited
+	kick    chan struct{}   // 1-buffered: queue went non-empty
+	closing chan struct{}   // closed when shutdown begins
+	done    chan struct{}   // closed when the batcher has drained and exited
+	barrier chan barrierReq // unbuffered: a send means the batcher owns the fn
 
 	m     counters
 	start time.Time
@@ -144,6 +162,7 @@ func New(run Runner, cfg Config) *Service {
 		kick:    make(chan struct{}, 1),
 		closing: make(chan struct{}),
 		done:    make(chan struct{}),
+		barrier: make(chan barrierReq),
 		start:   time.Now(),
 	}
 	go s.loop()
@@ -154,21 +173,29 @@ func New(run Runner, cfg Config) *Service {
 // until its result row is scattered back, its deadline passes, or the
 // service closes. A zero deadline means wait indefinitely.
 func (s *Service) Act(obs *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
+	out, _, err := s.ActVersion(obs, deadline)
+	return out, err
+}
+
+// ActVersion is Act plus the weight-version stamp of the micro-batch that
+// served the request (Config.Version sampled at dispatch; 0 when unset or
+// the request never reached a batch).
+func (s *Service) ActVersion(obs *tensor.Tensor, deadline time.Time) (*tensor.Tensor, int64, error) {
 	if obs == nil {
 		s.m.invalid.Add(1)
-		return nil, fmt.Errorf("%w: nil tensor", ErrBadObservation)
+		return nil, 0, fmt.Errorf("%w: nil tensor", ErrBadObservation)
 	}
 	if s.cfg.Elem != nil && !spaces.ContainsElement(s.cfg.Elem, obs) {
 		s.m.invalid.Add(1)
-		return nil, fmt.Errorf("%w: shape %v, element space %s", ErrBadObservation, obs.Shape(), s.cfg.Elem)
+		return nil, 0, fmt.Errorf("%w: shape %v, element space %s", ErrBadObservation, obs.Shape(), s.cfg.Elem)
 	}
 	if s.cfg.ElemShape != nil && !tensor.SameShape(obs.Shape(), s.cfg.ElemShape) {
 		s.m.invalid.Add(1)
-		return nil, fmt.Errorf("%w: shape %v, want %v", ErrBadObservation, obs.Shape(), s.cfg.ElemShape)
+		return nil, 0, fmt.Errorf("%w: shape %v, want %v", ErrBadObservation, obs.Shape(), s.cfg.ElemShape)
 	}
 	r := &request{obs: obs, deadline: deadline, enq: time.Now(), done: make(chan response, 1)}
 	if err := s.admit(r); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Wake the batcher; a dropped kick means one is already pending.
 	select {
@@ -230,8 +257,12 @@ func (s *Service) drained() <-chan time.Time {
 	return time.After(200 * time.Microsecond)
 }
 
-// await blocks on the request's response or its deadline.
-func (s *Service) await(r *request) (*tensor.Tensor, error) {
+// await blocks on the request's response or its deadline. It also watches
+// the batcher's exit (s.done): once the drain has completed, no one is left
+// to deliver a response, so a still-unresolved request fails with ErrClosed
+// immediately instead of hanging — the guarantee Act makes to callers racing
+// Shutdown.
+func (s *Service) await(r *request) (*tensor.Tensor, int64, error) {
 	var expire <-chan time.Time
 	if !r.deadline.IsZero() {
 		wait := time.Until(r.deadline)
@@ -239,35 +270,87 @@ func (s *Service) await(r *request) (*tensor.Tensor, error) {
 			if r.resolved.CompareAndSwap(false, true) {
 				s.m.misses.Add(1)
 			}
-			return nil, ErrDeadline
+			return nil, 0, ErrDeadline
 		}
 		expire = time.After(wait)
 	}
 	select {
 	case resp := <-r.done:
-		return resp.out, resp.err
+		return resp.out, resp.version, resp.err
 	case <-expire:
 		if r.resolved.CompareAndSwap(false, true) {
 			s.m.misses.Add(1)
-			return nil, ErrDeadline
+			return nil, 0, ErrDeadline
 		}
 		// The batcher resolved it between the timer firing and the CAS:
 		// the response is already (or about to be) in the buffered channel.
 		resp := <-r.done
-		return resp.out, resp.err
+		return resp.out, resp.version, resp.err
+	case <-s.done:
+		// Drain complete. A delivered response beats the ErrClosed fallback:
+		// if the CAS loses, the buffered send is imminent.
+		if r.resolved.CompareAndSwap(false, true) {
+			s.m.failed.Add(1)
+			return nil, 0, ErrClosed
+		}
+		resp := <-r.done
+		return resp.out, resp.version, resp.err
 	}
 }
 
 // loop is the batcher: one goroutine collecting micro-batches until
-// shutdown completes the drain.
+// shutdown completes the drain. Between batches it serves at most one
+// pending barrier function, so a swap waits at most one batch under
+// continuous load and can never starve.
 func (s *Service) loop() {
 	defer close(s.done)
 	for {
+		select {
+		case b := <-s.barrier:
+			b.done <- runBarrier(b.fn)
+		default:
+		}
 		first, ok := s.awaitFirst()
 		if !ok {
 			return
 		}
 		s.dispatch(s.gather(first))
+	}
+}
+
+// runBarrier executes a barrier function, converting a panic into an error
+// so a bad swap cannot kill the batcher.
+func runBarrier(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: barrier panicked: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// Barrier runs fn in the batcher goroutine, strictly between micro-batches:
+// no Runner call is in flight while fn executes, and every batch dispatched
+// after Barrier returns sees fn's effects. This is the weight-swap hook —
+// fn typically installs a new parameter snapshot into the executor the
+// Runner closes over. Returns fn's error, or ErrClosed if the service shut
+// down before fn could run. fn must not call back into the service.
+func (s *Service) Barrier(fn func() error) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		// Once shutdown begins no new swaps land, even though the batcher
+		// may still be draining queued requests.
+		return ErrClosed
+	}
+	req := barrierReq{fn: fn, done: make(chan error, 1)}
+	select {
+	case s.barrier <- req:
+		// The batcher owns the request now and always replies.
+		return <-req.done
+	case <-s.done:
+		return ErrClosed
 	}
 }
 
@@ -289,6 +372,8 @@ func (s *Service) awaitFirst() (*request, bool) {
 		}
 		select {
 		case <-s.kick:
+		case b := <-s.barrier:
+			b.done <- runBarrier(b.fn)
 		case <-s.closing:
 		}
 	}
@@ -326,9 +411,13 @@ func (s *Service) gather(first *request) []*request {
 		}
 		if wait > gatherSpin {
 			// Coarse sleep through the bulk of a long flush window; the
-			// precise tail below is polled.
+			// precise tail below is polled. Serving a barrier here is safe —
+			// no Runner call is in flight while gathering — and keeps swap
+			// latency bounded by the flush window, not starved behind it.
 			select {
 			case <-s.kick:
+			case b := <-s.barrier:
+				b.done <- runBarrier(b.fn)
 			case <-time.After(wait - gatherSpin):
 			case <-s.closing:
 			}
@@ -367,10 +456,17 @@ func (s *Service) dispatch(batch []*request) {
 		// mismatched rows fail the whole batch with an error, not a panic).
 		elem = live[0].obs.Shape()
 	}
+	// The version stamp is sampled before the Runner call: swaps only land
+	// through Barrier (same goroutine), so this is exactly the snapshot the
+	// batch executes against.
+	var version int64
+	if s.cfg.Version != nil {
+		version = s.cfg.Version()
+	}
 	stacked, err := tensor.StackRows(elem, obs)
 	var out *tensor.Tensor
 	if err == nil {
-		out, err = s.run(stacked)
+		out, err = s.runProtected(stacked)
 	}
 	if err == nil {
 		if out == nil || out.Rank() == 0 || out.Dim(0) != len(live) {
@@ -385,9 +481,9 @@ func (s *Service) dispatch(batch []*request) {
 	s.m.batchRows.Add(int64(len(live)))
 	s.m.recordBatchSize(len(live))
 	for i, r := range live {
-		resp := response{err: err}
+		resp := response{err: err, version: version}
 		if err == nil {
-			resp = response{out: rows[i]}
+			resp = response{out: rows[i], version: version}
 		}
 		if r.resolved.CompareAndSwap(false, true) {
 			if err == nil {
@@ -401,6 +497,19 @@ func (s *Service) dispatch(batch []*request) {
 		}
 		r.done <- resp
 	}
+}
+
+// runProtected invokes the Runner, converting a panic into an error: a
+// crashing model fails its batch (and, in a fleet, trips the replica's
+// circuit breaker) instead of killing the whole process — the raysim
+// supervision contract applied to serving.
+func (s *Service) runProtected(batch *tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("serve: runner panicked: %v", r)
+		}
+	}()
+	return s.run(batch)
 }
 
 func shapeOrNil(t *tensor.Tensor) interface{} {
