@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, serve, fleet, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, serve, fleet, live, all")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	flag.Parse()
 
@@ -32,10 +32,10 @@ func main() {
 	runners := map[string]func(benchkit.Scale) error{
 		"5a": fig5a, "5b": fig5b, "6": fig6, "7a": fig7a, "7b": fig7b, "8": fig8, "9": fig9,
 		"chaos": chaos, "plan": figPlan, "kernels": figKernels, "conv": figConv, "serve": figServe,
-		"fleet": figFleet,
+		"fleet": figFleet, "live": figLive,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv", "serve", "fleet"} {
+		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv", "serve", "fleet", "live"} {
 			if err := runners[k](scale); err != nil {
 				log.Fatalf("figure %s: %v", k, err)
 			}
@@ -429,6 +429,45 @@ func figFleet(s benchkit.Scale) error {
 		fmt.Printf("acceptance: %s: %.3f vs %.3f: %v\n", g.Benchmark, g.Value, g.Threshold, g.Pass)
 	}
 	fmt.Println("wrote BENCH_fleet.json")
+	return nil
+}
+
+// figLive runs the live training→serving pipeline: an Ape-X trainer on
+// GridWorld publishes weight snapshots to the parameter server as it learns,
+// a fleet.Publisher rolls each version across the serving fleet, and greedy
+// eval clients record serving reward per weight version the whole time.
+// Results and acceptance gates (≥5 served versions, non-decreasing reward
+// trend, ≥N−1 availability through every swap, exactly-once identities,
+// zero rollbacks) land in BENCH_live.json.
+func figLive(s benchkit.Scale) error {
+	header("Live loop — trainer → parameter server → fleet hot-swap, eval reward per version")
+	rep, err := benchkit.LiveBench(benchkit.LiveConfig{
+		Duration:     s.LiveDuration,
+		Replicas:     s.LiveReplicas,
+		Clients:      s.LiveClients,
+		PublishEvery: s.LivePublishEvery,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trainer updates=%-6d fps=%-8.0f published=%-4d ps_version=%d\n",
+		rep.TrainerUpdates, rep.TrainerFPS, rep.TrainerPublished, rep.PSVersion)
+	fmt.Printf("publisher rollouts=%-4d applied=v%-4d rollbacks=%-2d fleet_swaps=%d\n",
+		rep.Rollouts, rep.Applied, rep.Rollbacks, rep.Swaps)
+	for _, v := range rep.Versions {
+		fmt.Printf("  version=%-5d episodes=%-5d mean_reward=%.3f\n", v.Version, v.Episodes, v.MeanReward)
+	}
+	fmt.Printf("eval episodes=%-6d errors=%-3d served_versions=%-4d baseline=%.3f first_third=%.3f last_third=%.3f\n",
+		rep.Episodes, rep.EvalErrors, rep.ServedVersions, rep.BaselineMean, rep.FirstThirdMean, rep.LastThirdMean)
+	fmt.Printf("fleet min_healthy=%d/%d identity_exact=%v\n", rep.MinHealthy, rep.Replicas, rep.IdentityExact)
+	gates, err := benchkit.WriteLiveJSON(rep, "BENCH_live.json")
+	if err != nil {
+		return err
+	}
+	for _, g := range gates {
+		fmt.Printf("acceptance: %s: %.3f vs %.3f: %v\n", g.Benchmark, g.Value, g.Threshold, g.Pass)
+	}
+	fmt.Println("wrote BENCH_live.json")
 	return nil
 }
 

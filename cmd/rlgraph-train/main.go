@@ -6,8 +6,14 @@
 //
 //	rlgraph-train -env gridworld -config config.json -steps 4000
 //	rlgraph-train -env cartpole -steps 8000 -export model.json
+//	rlgraph-train -serve -duration 12s -replicas 3 -clients 3
 //
 // Omitting -config uses a sensible DQN default for the chosen environment.
+//
+// With -serve the command runs the live training→serving pipeline instead of
+// the single-process loop: an Ape-X trainer publishes weight snapshots to a
+// parameter server while a replica fleet hot-swaps each version under live
+// greedy-eval traffic, printing serving reward per published weight version.
 package main
 
 import (
@@ -15,8 +21,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"rlgraph/internal/agents"
+	"rlgraph/internal/benchkit"
 	"rlgraph/internal/envs"
 	"rlgraph/internal/tensor"
 )
@@ -27,7 +35,19 @@ func main() {
 	steps := flag.Int("steps", 4000, "environment steps to train for")
 	exportPath := flag.String("export", "", "write the trained model JSON here")
 	seed := flag.Int64("seed", 1, "environment seed")
+	serveMode := flag.Bool("serve", false, "run the live trainer→serving-fleet pipeline (gridworld only)")
+	duration := flag.Duration("duration", 12*time.Second, "-serve: trainer wall-clock budget")
+	replicas := flag.Int("replicas", 3, "-serve: serving-fleet replica count")
+	clients := flag.Int("clients", 3, "-serve: greedy-eval client count")
+	publishEvery := flag.Int("publish-every", 25, "-serve: learner updates between weight publishes")
 	flag.Parse()
+
+	if *serveMode {
+		if err := liveServe(*duration, *replicas, *clients, *publishEvery); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	env, err := makeEnv(*envName, *seed)
 	if err != nil {
@@ -75,7 +95,7 @@ func makeEnv(name string, seed int64) (envs.Env, error) {
 	case "cartpole":
 		return envs.NewCartPole(seed), nil
 	case "pong":
-		return envs.NewPongSim(envs.PongConfig{Seed: seed, PointsToWin: 5, FrameSkip: 4}), nil
+		return envs.NewPongSim(envs.PongConfig{Seed: seed, PointsToWin: 5, FrameSkip: 4, OpponentSkill: envs.DefaultPongOpponent}), nil
 	default:
 		return nil, fmt.Errorf("unknown env %q (want gridworld, cartpole, pong)", name)
 	}
@@ -145,6 +165,35 @@ func train(agent agents.Agent, env envs.Env, steps int) error {
 		}
 	}
 	fmt.Printf("done: %d episodes, final mean reward %.2f\n", episodes, mean(recent))
+	return nil
+}
+
+// liveServe runs the live training→serving pipeline and prints the
+// serving-side learning curve: greedy-eval reward per published weight
+// version, plus the fleet-contract evidence (availability through rolling
+// swaps, exactly-once accounting, rollbacks).
+func liveServe(duration time.Duration, replicas, clients, publishEvery int) error {
+	fmt.Printf("live trainer→serving pipeline: gridworld, %d replicas, %d eval clients, publish every %d updates, %s\n",
+		replicas, clients, publishEvery, duration)
+	rep, err := benchkit.LiveBench(benchkit.LiveConfig{
+		Duration:     duration,
+		Replicas:     replicas,
+		Clients:      clients,
+		PublishEvery: publishEvery,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trainer: %d updates (%.0f fps), %d weight versions published, parameter server at v%d\n",
+		rep.TrainerUpdates, rep.TrainerFPS, rep.TrainerPublished, rep.PSVersion)
+	fmt.Printf("fleet:   %d rollouts applied up to v%d, %d replica swaps, %d rollbacks, min healthy %d/%d\n",
+		rep.Rollouts, rep.Applied, rep.Swaps, rep.Rollbacks, rep.MinHealthy, rep.Replicas)
+	fmt.Println("serving reward per weight version (version 0 = pre-publish baseline):")
+	for _, v := range rep.Versions {
+		fmt.Printf("  v%-5d episodes %-4d mean_reward %7.3f\n", v.Version, v.Episodes, v.MeanReward)
+	}
+	fmt.Printf("eval: %d episodes, %d errors; trend first-third %.3f -> last-third %.3f; identities exact: %v\n",
+		rep.Episodes, rep.EvalErrors, rep.FirstThirdMean, rep.LastThirdMean, rep.IdentityExact)
 	return nil
 }
 

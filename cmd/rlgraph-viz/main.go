@@ -27,7 +27,7 @@ func main() {
 	outDataflow := flag.String("out-dataflow", "dataflow.dot", "dataflow-graph DOT path (static backend)")
 	flag.Parse()
 
-	env := envs.NewPongSim(envs.PongConfig{Obs: envs.PongFeatures, Seed: 1})
+	env := envs.NewPongSim(envs.PongConfig{Obs: envs.PongFeatures, Seed: 1, OpponentSkill: envs.DefaultPongOpponent})
 	cfg := fmt.Sprintf(`{
 		"type": %q,
 		"backend": "static",

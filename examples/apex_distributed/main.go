@@ -22,6 +22,7 @@ import (
 func mkEnv(seed int64) envs.Env {
 	return envs.NewPongSim(envs.PongConfig{
 		Obs: envs.PongFeatures, FrameSkip: 4, PointsToWin: 5, Seed: seed,
+		OpponentSkill: envs.DefaultPongOpponent,
 	})
 }
 

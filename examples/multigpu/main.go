@@ -24,6 +24,7 @@ func main() {
 	for _, gpus := range []int{1, 2} {
 		env := envs.NewPongSim(envs.PongConfig{
 			Obs: envs.PongFeatures, FrameSkip: 4, PointsToWin: 5, Seed: 1,
+			OpponentSkill: envs.DefaultPongOpponent,
 		})
 		agent, err := benchkit.BuildAgent(benchkit.DuelingDQNConfig("static", []nn.LayerSpec{
 			{Type: "dense", Units: 64, Activation: "relu"},

@@ -25,6 +25,7 @@ func FastPathAblation(numEnvs, steps int) ([]AblationResult, error) {
 		for i := range es {
 			es[i] = envs.NewPongSim(envs.PongConfig{
 				Obs: envs.PongFeatures, FrameSkip: 4, Seed: int64(i + 1),
+				OpponentSkill: envs.DefaultPongOpponent,
 			})
 		}
 		vec := envs.NewVectorEnv(es...)

@@ -81,6 +81,14 @@ type Scale struct {
 	FleetDuration  time.Duration
 	FleetReplicas  []int
 	FleetSwapEvery time.Duration
+	// LiveDuration/LiveReplicas/LiveClients/LivePublishEvery configure the
+	// live trainer→fleet weight-sync benchmark (trainer wall-clock budget,
+	// serving-fleet size, greedy-eval client count, and the learner-update
+	// interval between weight publishes).
+	LiveDuration     time.Duration
+	LiveReplicas     int
+	LiveClients      int
+	LivePublishEvery int
 }
 
 // LaptopScale is the default scaled-down experiment preset.
@@ -113,6 +121,10 @@ func LaptopScale() Scale {
 		FleetDuration:     time.Second,
 		FleetReplicas:     []int{1, 2, 3},
 		FleetSwapEvery:    20 * time.Millisecond,
+		LiveDuration:      12 * time.Second,
+		LiveReplicas:      3,
+		LiveClients:       3,
+		LivePublishEvery:  25,
 	}
 }
 
@@ -142,6 +154,10 @@ func QuickScale() Scale {
 	// concurrent clients, and batch amortization needs the concurrency.
 	s.ServeDuration = 500 * time.Millisecond
 	s.FleetDuration = 300 * time.Millisecond
+	s.LiveDuration = 2 * time.Second
+	s.LiveReplicas = 2
+	s.LiveClients = 2
+	s.LivePublishEvery = 10
 	return s
 }
 
@@ -267,7 +283,7 @@ func Fig5a() ([]Fig5aResult, error) {
 		})
 
 		// Full DQN architecture.
-		env := envs.NewPongSim(envs.PongConfig{Obs: envs.PongPixels, Seed: 1})
+		env := envs.NewPongSim(envs.PongConfig{Obs: envs.PongPixels, Seed: 1, OpponentSkill: envs.DefaultPongOpponent})
 		agent, err := agents.NewDQN(DuelingDQNConfig(b, atariNet(), 1), env.StateSpace(), env.ActionSpace())
 		if err != nil {
 			return nil, err

@@ -40,6 +40,7 @@ func fig5bPoint(variant string, numEnvs, steps int) (float64, error) {
 		for i := range es {
 			es[i] = envs.NewPongSim(envs.PongConfig{
 				Obs: envs.PongPixels, FrameSkip: 4, Seed: int64(i + 1),
+				OpponentSkill: envs.DefaultPongOpponent,
 			})
 		}
 		return es

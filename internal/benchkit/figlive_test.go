@@ -1,0 +1,63 @@
+package benchkit
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLiveBenchSmoke runs the full live trainer→fleet pipeline at smoke
+// scale and gates the contracts the live loop exists to prove: the trainer
+// actually published weight versions, the publisher rolled at least one of
+// them across the fleet (≥1 hot-swap), no greedy-eval request ever failed,
+// the fleet never dipped below N−1 healthy replicas, and the exactly-once
+// routing identities held at quiescence. Run under -race this doubles as the
+// concurrency check on the trainer/publisher/eval-client interleaving.
+func TestLiveBenchSmoke(t *testing.T) {
+	rep, err := LiveBench(LiveConfig{
+		Duration:     2500 * time.Millisecond,
+		Replicas:     2,
+		Clients:      2,
+		PublishEvery: 10,
+		// No eval throttle: the smoke test wants episode completions, not a
+		// representative trainer/serving CPU split.
+		EvalPause: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrainerUpdates == 0 {
+		t.Fatal("trainer made no updates")
+	}
+	if rep.TrainerPublished < 1 {
+		t.Fatalf("trainer published %d versions, want >= 1", rep.TrainerPublished)
+	}
+	if rep.PSVersion != int64(rep.TrainerPublished) {
+		t.Fatalf("parameter server at v%d after %d pushes", rep.PSVersion, rep.TrainerPublished)
+	}
+	if rep.Rollouts < 1 {
+		t.Fatalf("publisher rolled out %d versions, want >= 1", rep.Rollouts)
+	}
+	if rep.Swaps < 1 {
+		t.Fatalf("%d replica hot-swaps, want >= 1", rep.Swaps)
+	}
+	if rep.Applied == 0 {
+		t.Fatal("publisher never applied a version to the fleet")
+	}
+	if rep.EvalErrors != 0 {
+		t.Fatalf("%d eval serving errors, want 0", rep.EvalErrors)
+	}
+	if rep.MinHealthy < rep.Replicas-1 {
+		t.Fatalf("fleet dipped to %d healthy replicas (N=%d); rolling swaps must keep >= N-1",
+			rep.MinHealthy, rep.Replicas)
+	}
+	if !rep.IdentityExact {
+		t.Fatalf("exactly-once identities violated: requests=%d completed=%d failed=%d unroutable=%d",
+			rep.Requests, rep.Completed, rep.Failed, rep.Unroutable)
+	}
+	if rep.Episodes == 0 {
+		t.Fatal("no eval episodes completed")
+	}
+	if rep.Rollbacks != 0 {
+		t.Fatalf("%d rollbacks on a monotonically-improving trainer, want 0", rep.Rollbacks)
+	}
+}

@@ -76,6 +76,14 @@ type ApexConfig struct {
 	// negative = no deadline). A hung actor costs one timed-out call, not
 	// the run.
 	CallTimeout time.Duration
+	// PublishTo, when non-nil, pushes a learner weight snapshot to this
+	// parameter server every PublishEvery updates — the live
+	// training→serving weight-sync loop (a fleet.Publisher on the other
+	// side pulls each version and hot-swaps replicas).
+	PublishTo *ParameterServer
+	// PublishEvery is the update interval between publishes (defaults to
+	// SyncWeightsEvery; only meaningful with PublishTo).
+	PublishEvery int
 	// Cluster tunes the actor engine's cost model and fault injection.
 	Cluster raysim.Config
 }
@@ -108,6 +116,9 @@ func (c *ApexConfig) withDefaults() ApexConfig {
 	}
 	if out.MinReplaySize == 0 {
 		out.MinReplaySize = out.BatchSize * 2
+	}
+	if out.PublishEvery == 0 {
+		out.PublishEvery = out.SyncWeightsEvery
 	}
 	switch {
 	case out.MaxWorkerRestarts == 0:
@@ -171,6 +182,8 @@ type ApexResult struct {
 	// SolvedAt is the first timeline point reaching the target (nil if
 	// never reached).
 	SolvedAt *RewardPoint
+	// Published counts weight snapshots pushed to PublishTo.
+	Published int
 }
 
 // replayShard is the remote prioritized memory, built as a standalone
@@ -608,6 +621,7 @@ func (e *ApexExecutor) Run(opt RunOptions) (*ApexResult, error) {
 	// weights. Priority pushes and weight broadcasts stay asynchronous;
 	// their outcomes are harvested on later iterations.
 	shard := 0
+	published := 0
 	var pending []*raysim.Future
 	for time.Now().Before(deadline) {
 		if stopped(stop) {
@@ -657,6 +671,16 @@ func (e *ApexExecutor) Run(opt RunOptions) (*ApexResult, error) {
 			}
 			e.workerMu.RUnlock()
 		}
+		if ps := e.cfg.PublishTo; ps != nil && e.updates%e.cfg.PublishEvery == 0 {
+			e.learnerMu.Lock()
+			weights := e.learner.GetWeights()
+			e.learnerMu.Unlock()
+			if _, err := ps.Push(weights); err != nil {
+				recordErr(fmt.Errorf("distexec: publish at update %d: %w", e.updates, err))
+			} else {
+				published++
+			}
+		}
 	}
 	halt()
 	wg.Wait()
@@ -679,6 +703,7 @@ func (e *ApexExecutor) Run(opt RunOptions) (*ApexResult, error) {
 		Degraded:      degraded,
 		Timeline:      timeline,
 		SolvedAt:      solved,
+		Published:     published,
 	}
 	errMu.Lock()
 	err := firstErr

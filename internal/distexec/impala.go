@@ -41,6 +41,13 @@ type IMPALAConfig struct {
 	// (redundant actor variable assignments, unstage preprocessing copies)
 	// the paper identified; see internal/baselines/dmimpala.
 	BaselineOverheads bool
+	// PublishTo, when non-nil, pushes a learner weight snapshot to this
+	// parameter server every PublishEvery updates — the live
+	// training→serving weight-sync loop.
+	PublishTo *ParameterServer
+	// PublishEvery is the update interval between publishes (default 10;
+	// only meaningful with PublishTo).
+	PublishEvery int
 }
 
 func (c *IMPALAConfig) withDefaults() IMPALAConfig {
@@ -72,6 +79,9 @@ func (c *IMPALAConfig) withDefaults() IMPALAConfig {
 	if out.RestartBackoff == 0 {
 		out.RestartBackoff = 50 * time.Millisecond
 	}
+	if out.PublishEvery == 0 {
+		out.PublishEvery = 10
+	}
 	return out
 }
 
@@ -98,6 +108,8 @@ type IMPALAResult struct {
 	// Degraded is how long the run continued after permanently losing an
 	// actor (zero when every actor survived or recovered).
 	Degraded time.Duration
+	// Published counts weight snapshots pushed to PublishTo.
+	Published int
 }
 
 // IMPALAExecutor runs the queue-fed actor-learner architecture: actors step
@@ -370,6 +382,7 @@ func (e *IMPALAExecutor) Run(duration time.Duration) (*IMPALAResult, error) {
 	// Learner: dequeue → stage → update. The staging area gives the
 	// one-batch pipeline delay that hides transfer latency on real GPUs.
 	deadline := start.Add(duration)
+	published := 0
 	for time.Now().Before(deadline) && !stopped(stop) {
 		outs, err := e.queueCT.Test("dequeue")
 		if err != nil {
@@ -407,6 +420,16 @@ func (e *IMPALAExecutor) Run(duration time.Duration) (*IMPALAResult, error) {
 			break
 		}
 		e.updates++
+		if ps := e.cfg.PublishTo; ps != nil && e.updates%e.cfg.PublishEvery == 0 {
+			e.learnerMu.Lock()
+			weights := e.learner.GetWeights()
+			e.learnerMu.Unlock()
+			if _, err := ps.Push(weights); err != nil {
+				recordErr(fmt.Errorf("distexec: publish at update %d: %w", e.updates, err))
+			} else {
+				published++
+			}
+		}
 	}
 	halt()
 	e.queue.Close()
@@ -421,12 +444,13 @@ func (e *IMPALAExecutor) Run(duration time.Duration) (*IMPALAResult, error) {
 	err := firstErr
 	errMu.Unlock()
 	return &IMPALAResult{
-		Frames:   atomic.LoadInt64(&e.frames),
-		Elapsed:  elapsed,
-		FPS:      float64(atomic.LoadInt64(&e.frames)) / elapsed.Seconds(),
-		Updates:  e.updates,
-		Rollouts: atomic.LoadInt64(&e.rollouts),
-		Restarts: int(atomic.LoadInt64(&e.restarts)),
-		Degraded: degraded,
+		Frames:    atomic.LoadInt64(&e.frames),
+		Elapsed:   elapsed,
+		FPS:       float64(atomic.LoadInt64(&e.frames)) / elapsed.Seconds(),
+		Updates:   e.updates,
+		Rollouts:  atomic.LoadInt64(&e.rollouts),
+		Restarts:  int(atomic.LoadInt64(&e.restarts)),
+		Degraded:  degraded,
+		Published: published,
 	}, err
 }

@@ -25,6 +25,11 @@ type Env interface {
 	Step(action int) (obs *tensor.Tensor, reward float64, done bool)
 }
 
+// FinishedWindow is the number of recent completed-episode returns a
+// VectorEnv retains. Continuous live runs finish episodes indefinitely, so
+// the record is a bounded ring, not an append-only slice.
+const FinishedWindow = 512
+
 // VectorEnv steps a batch of environment copies with auto-reset — the
 // vectorized sample collection of the paper's worker benchmarks (Fig. 5b,
 // 7a). Environments are called sequentially, matching the paper's setup.
@@ -36,8 +41,13 @@ type VectorEnv struct {
 
 	// EpisodeRewards accumulates the running return per environment.
 	EpisodeRewards []float64
-	// FinishedEpisodes records returns of completed episodes.
-	FinishedEpisodes []float64
+
+	// finished is a bounded ring of the most recent FinishedWindow
+	// completed-episode returns; finishedCur is the next overwrite index once
+	// the ring is full, and finishedTotal counts every completion ever.
+	finished      []float64
+	finishedCur   int
+	finishedTotal int64
 }
 
 // NewVectorEnv wraps the given environment copies.
@@ -47,6 +57,17 @@ func NewVectorEnv(envs ...Env) *VectorEnv {
 		states:         make([]*tensor.Tensor, len(envs)),
 		EpisodeRewards: make([]float64, len(envs)),
 	}
+}
+
+// recordFinished appends one completed-episode return to the bounded ring.
+func (v *VectorEnv) recordFinished(r float64) {
+	if len(v.finished) < FinishedWindow {
+		v.finished = append(v.finished, r)
+	} else {
+		v.finished[v.finishedCur] = r
+		v.finishedCur = (v.finishedCur + 1) % FinishedWindow
+	}
+	v.finishedTotal++
 }
 
 // Len returns the number of environments.
@@ -86,7 +107,7 @@ func (v *VectorEnv) StepAll(actions []int) (obs *tensor.Tensor, rewards, termina
 		v.EpisodeRewards[i] += r
 		if done {
 			terminals[i] = 1
-			v.FinishedEpisodes = append(v.FinishedEpisodes, v.EpisodeRewards[i])
+			v.recordFinished(v.EpisodeRewards[i])
 			v.EpisodeRewards[i] = 0
 			s = e.Reset()
 		}
@@ -99,10 +120,36 @@ func (v *VectorEnv) batch() *tensor.Tensor {
 	return tensor.Stack(v.states...)
 }
 
+// FinishedCount returns the total number of episodes completed since
+// construction (not just those still retained in the ring).
+func (v *VectorEnv) FinishedCount() int64 { return v.finishedTotal }
+
+// FinishedEpisodes returns a copy of the retained completed-episode returns
+// in completion order (oldest first), at most FinishedWindow entries.
+func (v *VectorEnv) FinishedEpisodes() []float64 {
+	out := make([]float64, 0, len(v.finished))
+	if len(v.finished) < FinishedWindow {
+		return append(out, v.finished...)
+	}
+	out = append(out, v.finished[v.finishedCur:]...)
+	return append(out, v.finished[:v.finishedCur]...)
+}
+
+// DrainFinished returns the retained completed-episode returns in completion
+// order and empties the ring, so long-running consumers can poll without the
+// record growing or overlapping between polls. FinishedCount is unaffected.
+func (v *VectorEnv) DrainFinished() []float64 {
+	out := v.FinishedEpisodes()
+	v.finished = v.finished[:0]
+	v.finishedCur = 0
+	return out
+}
+
 // MeanFinishedReward averages the most recent n completed episode returns
-// (all of them if fewer); returns 0 with ok=false when none finished.
+// (all retained ones if fewer or n<=0); returns 0 with ok=false when none
+// are retained. Only the FinishedWindow most recent completions are visible.
 func (v *VectorEnv) MeanFinishedReward(n int) (float64, bool) {
-	f := v.FinishedEpisodes
+	f := v.FinishedEpisodes()
 	if len(f) == 0 {
 		return 0, false
 	}

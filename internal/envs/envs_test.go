@@ -1,6 +1,7 @@
 package envs
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -232,10 +233,10 @@ func TestVectorEnvBatchingAndAutoReset(t *testing.T) {
 	if obs.At(0, 0) != 1 {
 		t.Fatal("env 0 not auto-reset")
 	}
-	if len(v.FinishedEpisodes) != 1 {
-		t.Fatalf("finished = %d", len(v.FinishedEpisodes))
+	if v.FinishedCount() != 1 || len(v.FinishedEpisodes()) != 1 {
+		t.Fatalf("finished = %d (count %d)", len(v.FinishedEpisodes()), v.FinishedCount())
 	}
-	if m, ok := v.MeanFinishedReward(10); !ok || m != rewardsSum(v.FinishedEpisodes) {
+	if m, ok := v.MeanFinishedReward(10); !ok || m != rewardsSum(v.FinishedEpisodes()) {
 		t.Fatalf("mean = %g ok=%v", m, ok)
 	}
 }
@@ -301,6 +302,181 @@ func TestFrameStackChannels(t *testing.T) {
 	}
 	if !tensor.SameShape(obs.Shape(), []int{84, 84, 4}) {
 		t.Fatal("shape changed after step")
+	}
+}
+
+// TestPongLongRallyObsStayInSpace is the serving-admission regression for
+// spin accumulation: a perfect opponent plus a ball-tracking agent produces
+// maximal-length rallies with many spin-imparting paddle hits. Before the
+// |ballVY| cap, the vy feature escaped BoundedFloatBox(-1,1,6) after enough
+// hits and spaces.ContainsElement (the serve admission gate) rejected the
+// observation; every obs over 1M frames must stay in-space.
+func TestPongLongRallyObsStayInSpace(t *testing.T) {
+	const frames = 1_000_000
+	p := NewPongSim(PongConfig{Seed: 11, OpponentSkill: 1, FrameSkip: 4})
+	check := func(o *tensor.Tensor) {
+		if !spaces.ContainsElement(p.StateSpace(), o) {
+			t.Fatalf("obs out of space after %d frames: %v", p.Frames(), o.Data())
+		}
+	}
+	check(p.Reset())
+	for p.Frames() < frames {
+		action := 0
+		switch {
+		case p.agentY < p.ballY-0.01:
+			action = 2
+		case p.agentY > p.ballY+0.01:
+			action = 1
+		}
+		o, _, done := p.Step(action)
+		check(o)
+		if done {
+			check(p.Reset())
+		}
+	}
+	if math.Abs(p.ballVY) > pongBallMaxVY {
+		t.Fatalf("ballVY %g exceeds cap %g", p.ballVY, pongBallMaxVY)
+	}
+}
+
+// TestPongZeroOpponentSkillHonored pins the sentinel semantics: skill 0 is a
+// real configuration (the opponent never tracks), and only a negative value
+// requests the default.
+func TestPongZeroOpponentSkillHonored(t *testing.T) {
+	p := NewPongSim(PongConfig{Seed: 9, OpponentSkill: 0})
+	p.Reset()
+	for i := 0; i < 2000; i++ {
+		if _, _, done := p.Step(i % 3); done {
+			p.Reset()
+		}
+	}
+	if p.oppY != 0.5 {
+		t.Fatalf("skill-0 opponent moved to %g", p.oppY)
+	}
+	if d := NewPongSim(PongConfig{OpponentSkill: DefaultPongOpponent}); d.cfg.OpponentSkill != PongDefaultOpponentSkill {
+		t.Fatalf("sentinel resolved to %g, want %g", d.cfg.OpponentSkill, PongDefaultOpponentSkill)
+	}
+	if e := NewPongSim(PongConfig{OpponentSkill: 0.3}); e.cfg.OpponentSkill != 0.3 {
+		t.Fatalf("explicit skill overwritten to %g", e.cfg.OpponentSkill)
+	}
+}
+
+// oneStepEnv finishes an episode on every step with reward 1, 2, 3, … — a
+// worst-case completion rate for the finished-episode record.
+type oneStepEnv struct{ n float64 }
+
+func (e *oneStepEnv) StateSpace() spaces.Space    { return spaces.NewFloatBox(1) }
+func (e *oneStepEnv) ActionSpace() *spaces.IntBox { return spaces.NewIntBox(1) }
+func (e *oneStepEnv) Reset() *tensor.Tensor       { return tensor.New(1) }
+func (e *oneStepEnv) Step(int) (*tensor.Tensor, float64, bool) {
+	e.n++
+	return tensor.New(1), e.n, true
+}
+
+func TestVectorEnvFinishedRingBoundedAndDrain(t *testing.T) {
+	v := NewVectorEnv(&oneStepEnv{})
+	total := FinishedWindow + 88
+	for i := 0; i < total; i++ {
+		v.StepAll([]int{0})
+	}
+	if v.FinishedCount() != int64(total) {
+		t.Fatalf("count = %d, want %d", v.FinishedCount(), total)
+	}
+	f := v.FinishedEpisodes()
+	if len(f) != FinishedWindow {
+		t.Fatalf("retained %d, want bounded at %d", len(f), FinishedWindow)
+	}
+	// Completion order over the retained window: oldest first.
+	if f[0] != float64(total-FinishedWindow+1) || f[len(f)-1] != float64(total) {
+		t.Fatalf("window = [%g..%g], want [%d..%d]", f[0], f[len(f)-1], total-FinishedWindow+1, total)
+	}
+	if m, ok := v.MeanFinishedReward(2); !ok || m != (float64(total)+float64(total-1))/2 {
+		t.Fatalf("mean of last 2 = %g ok=%v", m, ok)
+	}
+	drained := v.DrainFinished()
+	if len(drained) != FinishedWindow || drained[len(drained)-1] != float64(total) {
+		t.Fatalf("drain returned %d entries ending %g", len(drained), drained[len(drained)-1])
+	}
+	if _, ok := v.MeanFinishedReward(0); ok {
+		t.Fatal("mean available after drain")
+	}
+	if v.FinishedCount() != int64(total) {
+		t.Fatal("drain must not reset the total count")
+	}
+	// The ring refills in completion order after a drain (cursor reset).
+	extra := FinishedWindow + 3
+	for i := 0; i < extra; i++ {
+		v.StepAll([]int{0})
+	}
+	f = v.FinishedEpisodes()
+	if len(f) != FinishedWindow || f[0] != float64(total+4) || f[len(f)-1] != float64(total+extra) {
+		t.Fatalf("post-drain window = [%g..%g] len %d", f[0], f[len(f)-1], len(f))
+	}
+}
+
+// mutEnv reuses ONE observation buffer across Reset/Step — the buffer-reuse
+// pattern that made FrameStack's aliased frames rewrite stack history.
+type mutEnv struct {
+	shape []int
+	buf   *tensor.Tensor
+	steps int
+}
+
+func (m *mutEnv) StateSpace() spaces.Space    { return spaces.NewFloatBox(m.shape...) }
+func (m *mutEnv) ActionSpace() *spaces.IntBox { return spaces.NewIntBox(2) }
+func (m *mutEnv) fill(v float64) *tensor.Tensor {
+	if m.buf == nil {
+		m.buf = tensor.New(m.shape...)
+	}
+	d := m.buf.Data()
+	for i := range d {
+		d[i] = v
+	}
+	return m.buf
+}
+func (m *mutEnv) Reset() *tensor.Tensor { m.steps = 0; return m.fill(0) }
+func (m *mutEnv) Step(int) (*tensor.Tensor, float64, bool) {
+	m.steps++
+	return m.fill(float64(m.steps)), 0, false
+}
+
+// TestFrameStackPostResetMutation proves the stack holds private copies: an
+// env mutating its returned obs buffer in place must not rewrite frames the
+// stack already captured. Covers rank-1 and rank-3 observations.
+func TestFrameStackPostResetMutation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		shape []int
+	}{
+		{"rank1", []int{3}},
+		{"rank3", []int{2, 2, 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := NewFrameStack(&mutEnv{shape: tc.shape}, 3)
+			obs := fs.Reset()
+			for _, v := range obs.Data() {
+				if v != 0 {
+					t.Fatalf("reset stack = %v, want zeros", obs.Data())
+				}
+			}
+			// Step twice: env rewrites the SAME buffer to 1 then 2.
+			fs.Step(0)
+			obs, _, _ = fs.Step(0)
+			mk := func(v float64) *tensor.Tensor {
+				f := tensor.New(tc.shape...)
+				d := f.Data()
+				for i := range d {
+					d[i] = v
+				}
+				return f
+			}
+			want := tensor.Concat(-1, mk(0), mk(1), mk(2))
+			for i, v := range obs.Data() {
+				if w := want.Data()[i]; v != w {
+					t.Fatalf("frame history rewritten: data[%d] = %g, want %g (full %v)", i, v, w, obs.Data())
+				}
+			}
+		})
 	}
 }
 

@@ -29,7 +29,10 @@ type PongConfig struct {
 	// (21 in Pong; lower it for faster-terminating training workloads).
 	PointsToWin int
 	// OpponentSkill in [0,1] is the chance per frame that the opponent
-	// paddle tracks the ball correctly.
+	// paddle tracks the ball correctly. Zero is honored — the opponent
+	// never tracks (a stationary paddle, the trivially beatable drill
+	// opponent). Any negative value selects the default of 0.7
+	// (PongDefaultOpponentSkill); use DefaultPongOpponent as the sentinel.
 	OpponentSkill float64
 	// Seed fixes ball serves and opponent noise.
 	Seed int64
@@ -57,7 +60,22 @@ const (
 	pongPaddleHalf  = 0.15
 	pongPaddleSpeed = 0.04
 	pongBallSpeed   = 0.03
+	// pongBallMaxVY caps the vertical speed spin can impart. The feature
+	// observation normalizes vy as ballVY/pongBallSpeed/2, so the cap is
+	// exactly what keeps that feature inside the declared
+	// BoundedFloatBox(-1, 1, 6) — without it, repeated off-center paddle
+	// hits grow |ballVY| without bound and serving admission
+	// (spaces.ContainsElement) rejects the observation.
+	pongBallMaxVY = 2 * pongBallSpeed
 )
+
+// PongDefaultOpponentSkill is the tracking skill applied when
+// PongConfig.OpponentSkill is negative.
+const PongDefaultOpponentSkill = 0.7
+
+// DefaultPongOpponent is the OpponentSkill sentinel requesting the default
+// skill; zero is a valid (never-tracking) skill and is honored as given.
+const DefaultPongOpponent = -1.0
 
 // NewPongSim returns a simulator with the given config.
 func NewPongSim(cfg PongConfig) *PongSim {
@@ -67,8 +85,8 @@ func NewPongSim(cfg PongConfig) *PongSim {
 	if cfg.PointsToWin <= 0 {
 		cfg.PointsToWin = 21
 	}
-	if cfg.OpponentSkill == 0 {
-		cfg.OpponentSkill = 0.7
+	if cfg.OpponentSkill < 0 {
+		cfg.OpponentSkill = PongDefaultOpponentSkill
 	}
 	p := &PongSim{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	if cfg.Obs == PongPixels {
@@ -161,8 +179,9 @@ func (p *PongSim) frame(action int) (float64, bool) {
 		if diff := p.ballY - p.agentY; diff >= -pongPaddleHalf && diff <= pongPaddleHalf {
 			p.ballX = 2 - p.ballX
 			p.ballVX = -p.ballVX
-			// Impart spin from contact point.
-			p.ballVY += diff * 0.05
+			// Impart spin from contact point, capped so long rallies cannot
+			// accumulate unbounded vertical speed.
+			p.ballVY = clampAbs(p.ballVY+diff*0.05, pongBallMaxVY)
 		} else {
 			p.oppScore++
 			reward = -1
@@ -174,7 +193,7 @@ func (p *PongSim) frame(action int) (float64, bool) {
 		if diff := p.ballY - p.oppY; diff >= -pongPaddleHalf && diff <= pongPaddleHalf {
 			p.ballX = -p.ballX
 			p.ballVX = -p.ballVX
-			p.ballVY += diff * 0.05
+			p.ballVY = clampAbs(p.ballVY+diff*0.05, pongBallMaxVY)
 		} else {
 			p.agentScore++
 			reward = 1
@@ -232,6 +251,16 @@ func clamp01(x float64) float64 {
 	}
 	if x > 1 {
 		return 1
+	}
+	return x
+}
+
+func clampAbs(x, bound float64) float64 {
+	if x > bound {
+		return bound
+	}
+	if x < -bound {
+		return -bound
 	}
 	return x
 }

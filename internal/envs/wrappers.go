@@ -33,20 +33,24 @@ func (f *FrameStack) StateSpace() spaces.Space { return f.space }
 // ActionSpace delegates to the wrapped env.
 func (f *FrameStack) ActionSpace() *spaces.IntBox { return f.Env.ActionSpace() }
 
-// Reset fills the stack with the initial observation.
+// Reset fills the stack with k private copies of the initial observation.
+// Copies matter: environments may hand out tensors backed by reusable
+// buffers, and aliasing one tensor k times would make a later in-place
+// mutation rewrite the whole stack's history.
 func (f *FrameStack) Reset() *tensor.Tensor {
 	obs := f.Env.Reset()
 	f.frames = f.frames[:0]
 	for i := 0; i < f.k; i++ {
-		f.frames = append(f.frames, obs)
+		f.frames = append(f.frames, obs.Clone())
 	}
 	return f.stacked()
 }
 
-// Step advances the env and rolls the stack.
+// Step advances the env and rolls the stack, storing a private copy of the
+// new observation.
 func (f *FrameStack) Step(action int) (*tensor.Tensor, float64, bool) {
 	obs, r, done := f.Env.Step(action)
-	f.frames = append(f.frames[1:], obs)
+	f.frames = append(f.frames[1:], obs.Clone())
 	return f.stacked(), r, done
 }
 

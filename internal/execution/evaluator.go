@@ -1,0 +1,137 @@
+package execution
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlgraph/internal/envs"
+	"rlgraph/internal/tensor"
+)
+
+// EvalFunc serves one greedy action for one observation and reports the
+// weight-version stamp of the snapshot that produced it — the shape of
+// fleet.Router.ActVersion and serve.Service.ActVersion.
+type EvalFunc func(obs *tensor.Tensor, deadline time.Time) (action *tensor.Tensor, version int64, err error)
+
+// VersionReward aggregates evaluation episodes attributed to one weight
+// version.
+type VersionReward struct {
+	Version  int64
+	Episodes int
+	Mean     float64
+}
+
+// Evaluator drives greedy evaluation episodes against a serving endpoint and
+// attributes every finished episode's return to the highest weight version
+// observed during that episode — the observability half of the live
+// trainer→serving loop: as the trainer publishes versions, per-version mean
+// return shows serving quality climbing. Version 0 means the episode ran
+// entirely on the pre-publish baseline weights.
+//
+// One Evaluator may be shared by many concurrent RunLoop goroutines (the
+// recorder is locked); each goroutine must bring its own Env.
+type Evaluator struct {
+	// Act serves one observation (required).
+	Act EvalFunc
+	// Deadline is the per-request serving deadline (zero = none).
+	Deadline time.Duration
+	// MaxSteps caps episode length so a non-terminating policy cannot wedge
+	// the loop (default 1000).
+	MaxSteps int
+
+	mu       sync.Mutex
+	sums     map[int64]float64
+	counts   map[int64]int
+	episodes int64
+	errors   int64
+}
+
+// RunLoop plays evaluation episodes on env until stop closes. Safe to call
+// from multiple goroutines with distinct envs.
+func (ev *Evaluator) RunLoop(env envs.Env, stop <-chan struct{}) {
+	maxSteps := ev.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1000
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		obs := env.Reset()
+		total := 0.0
+		maxVersion := int64(0)
+		completed := false
+		for step := 0; step < maxSteps; step++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var dl time.Time
+			if ev.Deadline > 0 {
+				dl = time.Now().Add(ev.Deadline)
+			}
+			act, v, err := ev.Act(obs, dl)
+			if err != nil {
+				atomic.AddInt64(&ev.errors, 1)
+				// Abandon the episode; back off briefly so a down fleet is
+				// not hot-spun.
+				time.Sleep(time.Millisecond)
+				break
+			}
+			if v > maxVersion {
+				maxVersion = v
+			}
+			o, r, done := env.Step(int(act.Data()[0]))
+			obs = o
+			total += r
+			if done {
+				completed = true
+				break
+			}
+		}
+		if completed {
+			ev.record(maxVersion, total)
+		}
+	}
+}
+
+func (ev *Evaluator) record(version int64, ret float64) {
+	ev.mu.Lock()
+	if ev.sums == nil {
+		ev.sums = make(map[int64]float64)
+		ev.counts = make(map[int64]int)
+	}
+	ev.sums[version] += ret
+	ev.counts[version]++
+	ev.episodes++
+	ev.mu.Unlock()
+}
+
+// Episodes returns the number of completed (recorded) episodes.
+func (ev *Evaluator) Episodes() int64 {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.episodes
+}
+
+// Errors returns the number of serving calls that failed.
+func (ev *Evaluator) Errors() int64 { return atomic.LoadInt64(&ev.errors) }
+
+// ByVersion returns per-version episode aggregates sorted by version
+// ascending — publication order, since ParameterServer versions are
+// monotonic.
+func (ev *Evaluator) ByVersion() []VersionReward {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	out := make([]VersionReward, 0, len(ev.counts))
+	for v, n := range ev.counts {
+		out = append(out, VersionReward{Version: v, Episodes: n, Mean: ev.sums[v] / float64(n)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}

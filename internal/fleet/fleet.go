@@ -428,6 +428,19 @@ func (rt *Router) transitionDown(r *Replica) {
 	}
 }
 
+// HealthyCount returns how many replicas are currently in the healthy
+// (routable) state — the availability signal live-loop benches sample while
+// rolling swaps and rebuilds are in flight.
+func (rt *Router) HealthyCount() int {
+	n := 0
+	for _, r := range rt.replicas {
+		if r.state.Load() == stateHealthy {
+			n++
+		}
+	}
+	return n
+}
+
 // Kill abruptly closes replica i's service — the chaos hook tests and the
 // availability bench use to simulate a replica crash. Outstanding requests
 // fail with ErrClosed and are retried on the surviving replicas; the
