@@ -116,7 +116,13 @@ func (w *Worker) Sample(numSteps int) (*execution.Batch, error) {
 		for i := range acts {
 			acts[i] = int(actions.Data()[i])
 		}
-		prevStates := states
+		// The batched states tensor is borrowed from the VectorEnv (StepAll
+		// overwrites it in place), so the per-env rows are copied out before
+		// stepping.
+		prevRows := make([]*tensor.Tensor, w.Vec.Len())
+		for i := range prevRows {
+			prevRows[i] = tensor.Row(states, i)
+		}
 		nextStates, rewards, terms := w.Vec.StepAll(acts)
 		for i := 0; i < w.Vec.Len(); i++ {
 			ep := w.episodes[i]
@@ -135,7 +141,7 @@ func (w *Worker) Sample(numSteps int) (*execution.Batch, error) {
 				"agent_updates": ep.fields["agent_updates"],
 			}
 			ep.window = append(ep.window, map[string]interface{}{
-				"obs":    tensor.Row(prevStates, i),
+				"obs":    prevRows[i],
 				"action": float64(acts[i]),
 				"reward": rewards[i],
 			})

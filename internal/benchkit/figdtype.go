@@ -1,0 +1,258 @@
+package benchkit
+
+import (
+	"fmt"
+	"runtime"
+
+	"rlgraph/internal/envs"
+	"rlgraph/internal/exec"
+	"rlgraph/internal/tensor"
+)
+
+// DtypeMatMulResult compares one square matmul size in float64 vs float32, at
+// one worker and at full kernel parallelism. Both dtypes run the same blocked
+// kernel structure (matMulRows / matMulRows32), so the gap isolates the
+// element width: half the bytes through the cache hierarchy.
+type DtypeMatMulResult struct {
+	Size int `json:"size"`
+	// F64NsOp / F32NsOp are single-worker timings.
+	F64NsOp float64 `json:"f64_ns_op"`
+	F32NsOp float64 `json:"f32_ns_op"`
+	// F64ParNsOp / F32ParNsOp run the kernel pool at Workers goroutines.
+	F64ParNsOp float64 `json:"f64_par_ns_op"`
+	F32ParNsOp float64 `json:"f32_par_ns_op"`
+	Workers    int     `json:"workers"`
+	// SerialSpeedup / ParallelSpeedup are f64 time / f32 time.
+	SerialSpeedup   float64 `json:"serial_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// DtypeElemResult compares a memory-bound streaming elementwise chain
+// (mul, add, relu over flat operands) in float64 vs float32. At sizes far
+// beyond cache the chain is bandwidth-limited, so halving the element width
+// approaches a 2x speedup — the cleanest demonstration of why serving wants a
+// float32 path.
+type DtypeElemResult struct {
+	Elems   int     `json:"elems"`
+	F64NsOp float64 `json:"f64_ns_op"`
+	F32NsOp float64 `json:"f32_ns_op"`
+	Speedup float64 `json:"speedup"`
+	// F64MBs / F32MBs are effective streamed bandwidth (reads+writes of the
+	// three-kernel chain) in MB/s.
+	F64MBs float64 `json:"f64_mb_s"`
+	F32MBs float64 `json:"f32_mb_s"`
+}
+
+// DtypeForwardResult compares the end-to-end static-executor forward pass
+// (dueling-DQN get_q_values on a batch) with the session lowered to float32
+// vs the default float64 plan — the serving-path view of the dtype knob,
+// including the convert-at-the-boundary overhead the kernels alone don't see.
+type DtypeForwardResult struct {
+	Workload string  `json:"workload"`
+	Batch    int     `json:"batch"`
+	F64NsOp  float64 `json:"f64_ns_op"`
+	F32NsOp  float64 `json:"f32_ns_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// DtypeAllocResult measures steady-state allocations of the parallel
+// dqn-update plan with per-plan scratch and the session arena on — the
+// workload the per-plan scratch work drove from ~890 allocs/op toward zero.
+type DtypeAllocResult struct {
+	Workload    string  `json:"workload"`
+	Parallelism int     `json:"parallelism"`
+	Iters       int     `json:"iters"`
+	AllocsOp    float64 `json:"allocs_op"`
+	BytesOp     float64 `json:"bytes_op"`
+}
+
+// DtypeBenchReport is the full float32-path benchmark output
+// (BENCH_dtype.json payload).
+type DtypeBenchReport struct {
+	Gomaxprocs  int                 `json:"gomaxprocs"`
+	MatMul      []DtypeMatMulResult `json:"matmul"`
+	Elementwise DtypeElemResult     `json:"elementwise"`
+	Forward     DtypeForwardResult  `json:"forward"`
+	Allocs      DtypeAllocResult    `json:"allocs"`
+}
+
+// DtypeBench measures the float32 execution path against the float64
+// baseline at three levels — raw matmul kernels, a memory-bound streaming
+// elementwise chain, and the lowered static-executor forward pass — plus the
+// allocation pressure of the parallel dqn-update plan with per-plan scratch.
+// The kernel parallelism setting is restored on return.
+func DtypeBench(sizes []int, matmulBase, elemIters, fwdIters, allocIters int) (*DtypeBenchReport, error) {
+	rep := &DtypeBenchReport{Gomaxprocs: runtime.GOMAXPROCS(0)}
+	defer tensor.SetKernelParallelism(0)
+
+	// --- matmul: f64 vs f32, serial and parallel --------------------------
+	for _, size := range sizes {
+		a64, b64 := tensor.New(size, size), tensor.New(size, size)
+		for i := range a64.Data() {
+			a64.Data()[i] = float64(i%7) - 3
+			b64.Data()[i] = float64(i%5) - 2
+		}
+		a32, b32 := tensor.ToFloat32(a64), tensor.ToFloat32(b64)
+		out64, out32 := tensor.New(size, size), tensor.New32(size, size)
+		iters := matmulIters(matmulBase, size)
+
+		tensor.SetKernelParallelism(1)
+		f64Ns, err := timeRuns(iters, func() error { tensor.MatMulInto(out64, a64, b64); return nil })
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: dtype matmul f64 %d: %w", size, err)
+		}
+		f32Ns, err := timeRuns(iters, func() error { tensor.MatMul32Into(out32, a32, b32); return nil })
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: dtype matmul f32 %d: %w", size, err)
+		}
+		workers := runtime.GOMAXPROCS(0)
+		tensor.SetKernelParallelism(workers)
+		f64Par, err := timeRuns(iters, func() error { tensor.MatMulInto(out64, a64, b64); return nil })
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: dtype matmul f64 par %d: %w", size, err)
+		}
+		f32Par, err := timeRuns(iters, func() error { tensor.MatMul32Into(out32, a32, b32); return nil })
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: dtype matmul f32 par %d: %w", size, err)
+		}
+		rep.MatMul = append(rep.MatMul, DtypeMatMulResult{
+			Size: size, F64NsOp: f64Ns, F32NsOp: f32Ns,
+			F64ParNsOp: f64Par, F32ParNsOp: f32Par, Workers: workers,
+			SerialSpeedup:   f64Ns / f32Ns,
+			ParallelSpeedup: f64Par / f32Par,
+		})
+	}
+
+	// --- streaming elementwise: mul + add + relu over >= 1M elems ---------
+	{
+		const elems = 1 << 21 // 2M elems: 16 MB per f64 operand, far past LLC
+		a64 := make([]float64, elems)
+		b64 := make([]float64, elems)
+		c64 := make([]float64, elems)
+		t64 := make([]float64, elems)
+		d64 := make([]float64, elems)
+		a32 := make([]float32, elems)
+		b32 := make([]float32, elems)
+		c32 := make([]float32, elems)
+		t32 := make([]float32, elems)
+		d32 := make([]float32, elems)
+		for i := 0; i < elems; i++ {
+			v := float64(i%17) - 8
+			w := float64(i%13) - 6
+			u := float64(i%11) - 5
+			a64[i], b64[i], c64[i] = v, w, u
+			a32[i], b32[i], c32[i] = float32(v), float32(w), float32(u)
+		}
+		f64Ns, err := timeRuns(elemIters, func() error {
+			tensor.MulFlat(t64, a64, b64)
+			tensor.AddFlat(t64, t64, c64)
+			tensor.ReluFlat(d64, t64)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: dtype elementwise f64: %w", err)
+		}
+		f32Ns, err := timeRuns(elemIters, func() error {
+			tensor.MulFlat32(t32, a32, b32)
+			tensor.AddFlat32(t32, t32, c32)
+			tensor.ReluFlat32(d32, t32)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: dtype elementwise f32: %w", err)
+		}
+		// 3 kernels × (2 reads + 1 write) per element.
+		bytes64 := float64(elems) * 9 * 8
+		bytes32 := float64(elems) * 9 * 4
+		rep.Elementwise = DtypeElemResult{
+			Elems: elems, F64NsOp: f64Ns, F32NsOp: f32Ns,
+			Speedup: f64Ns / f32Ns,
+			F64MBs:  bytes64 / f64Ns * 1e9 / (1 << 20),
+			F32MBs:  bytes32 / f32Ns * 1e9 / (1 << 20),
+		}
+	}
+
+	// --- executor forward pass: lowered vs default plan -------------------
+	{
+		const batch = 64
+		env := envs.NewGridWorld(8, 1)
+		obs := make([]*tensor.Tensor, batch)
+		e := envs.NewGridWorld(8, 2)
+		o := e.Reset()
+		for i := range obs {
+			obs[i] = o.Clone()
+			var done bool
+			o, _, done = e.Step(i % e.ActionSpace().N)
+			if done {
+				o = e.Reset()
+			}
+		}
+		in := tensor.Stack(obs...)
+
+		runForward := func(dt tensor.Dtype) (float64, error) {
+			agent, err := BuildAgent(DuelingDQNConfig("static", featureNet(), 1), env)
+			if err != nil {
+				return 0, fmt.Errorf("benchkit: dtype forward build: %w", err)
+			}
+			se := agent.Executor().(*exec.StaticExecutor)
+			se.SetDType(dt)
+			run := func() error { _, err := se.Execute("get_q_values", in); return err }
+			for i := 0; i < 3; i++ { // warm plan cache + converted weights
+				if err := run(); err != nil {
+					return 0, err
+				}
+			}
+			return timeRuns(fwdIters, run)
+		}
+		f64Ns, err := runForward(tensor.Float64)
+		if err != nil {
+			return nil, err
+		}
+		f32Ns, err := runForward(tensor.Float32)
+		if err != nil {
+			return nil, err
+		}
+		rep.Forward = DtypeForwardResult{
+			Workload: "dueling-dqn get_q_values", Batch: batch,
+			F64NsOp: f64Ns, F32NsOp: f32Ns, Speedup: f64Ns / f32Ns,
+		}
+	}
+
+	// --- parallel dqn-update allocations with per-plan scratch ------------
+	{
+		env := envs.NewGridWorld(4, 1)
+		agent, err := BuildAgent(DuelingDQNConfig("static", featureNet(), 1), env)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: dtype allocs build: %w", err)
+		}
+		if err := seedMemory(agent, env, 512); err != nil {
+			return nil, fmt.Errorf("benchkit: dtype allocs seed: %w", err)
+		}
+		se := agent.Executor().(*exec.StaticExecutor)
+		se.SetParallelism(2)
+		se.SetBufferReuse(true)
+		batch := tensor.Scalar(32)
+		run := func() error { _, err := se.Execute("update_from_memory", batch); return err }
+		for i := 0; i < 5; i++ { // warm plan cache, arena pools, plan scratch
+			if err := run(); err != nil {
+				return nil, err
+			}
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < allocIters; i++ {
+			if err := run(); err != nil {
+				return nil, err
+			}
+		}
+		runtime.ReadMemStats(&after)
+		rep.Allocs = DtypeAllocResult{
+			Workload: "dqn-update", Parallelism: 2, Iters: allocIters,
+			AllocsOp: float64(after.Mallocs-before.Mallocs) / float64(allocIters),
+			BytesOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(allocIters),
+		}
+	}
+
+	return rep, nil
+}

@@ -197,11 +197,21 @@ func (o *Optimizer) applyUpdate(ops backend.Ops, v *vars.Variable, g backend.Ref
 		vNew := ops.Add(ops.Scale(ops.VarRead(vv), b2), ops.Scale(ops.Square(g), 1-b2))
 		a1 := ops.AssignVar(mv, mNew)
 		a2 := ops.AssignVar(vv, vNew)
-		// Bias correction uses the host step counter read at run time.
+		// Bias correction uses the host step counter read at run time. The
+		// scalar is cached per closure and mutated in place between steps:
+		// stateful steps run serialized, its consumers only read during the
+		// same run, and a non-value-semantics producer is never recycled, so
+		// reusing the tensor is safe and keeps the update loop allocation-free.
+		var corrT *tensor.Tensor
 		corr := ops.Stateful("AdamCorr", []int{}, func([]*tensor.Tensor) (*tensor.Tensor, error) {
 			t := float64(o.step + 1)
 			c := math.Sqrt(1-math.Pow(b2, t)) / (1 - math.Pow(b1, t))
-			return tensor.Scalar(c), nil
+			if corrT == nil {
+				corrT = tensor.Scalar(c)
+			} else {
+				corrT.Data()[0] = c
+			}
+			return corrT, nil
 		})
 		upd := ops.Div(ops.Mul(mNew, corr), ops.AddScalar(ops.Sqrt(vNew), o.cfg.Epsilon))
 		return ops.Group(a1, a2, ops.AddToVar(v, upd, -lr))

@@ -39,6 +39,16 @@ type VectorEnv struct {
 	states  []*tensor.Tensor
 	started bool
 
+	// Reused output buffers: the batched observation tensor and the
+	// reward/terminal slices handed out by States/StepAll/ResetAll are
+	// borrowed — valid until the next States/StepAll/ResetAll call, which
+	// overwrites them in place. Callers that retain observations across
+	// steps (n-step windows, replay insertion) must copy the rows they keep
+	// before stepping again.
+	batchBuf  *tensor.Tensor
+	rewardBuf []float64
+	termBuf   []float64
+
 	// EpisodeRewards accumulates the running return per environment.
 	EpisodeRewards []float64
 
@@ -74,6 +84,8 @@ func (v *VectorEnv) recordFinished(r float64) {
 func (v *VectorEnv) Len() int { return len(v.Envs) }
 
 // ResetAll resets every environment and returns the batched observation.
+// The returned tensor is borrowed until the next States/StepAll/ResetAll
+// call (see the buffer-reuse note on VectorEnv).
 func (v *VectorEnv) ResetAll() *tensor.Tensor {
 	for i, e := range v.Envs {
 		v.states[i] = e.Reset()
@@ -83,7 +95,9 @@ func (v *VectorEnv) ResetAll() *tensor.Tensor {
 	return v.batch()
 }
 
-// States returns the current batched observation.
+// States returns the current batched observation. The returned tensor is
+// borrowed until the next States/StepAll/ResetAll call (see the buffer-reuse
+// note on VectorEnv).
 func (v *VectorEnv) States() *tensor.Tensor {
 	if !v.started {
 		return v.ResetAll()
@@ -94,16 +108,22 @@ func (v *VectorEnv) States() *tensor.Tensor {
 // StepAll applies one action per environment, auto-resetting finished
 // episodes, and returns batched next observations, rewards and terminals.
 // The returned observations are the *post-reset* states (standard vectorized
-// semantics); terminals mark which transitions ended an episode.
+// semantics); terminals mark which transitions ended an episode. All three
+// return values are borrowed until the next States/StepAll/ResetAll call
+// (see the buffer-reuse note on VectorEnv).
 func (v *VectorEnv) StepAll(actions []int) (obs *tensor.Tensor, rewards, terminals []float64) {
 	if !v.started {
 		v.ResetAll()
 	}
-	rewards = make([]float64, len(v.Envs))
-	terminals = make([]float64, len(v.Envs))
+	if v.rewardBuf == nil {
+		v.rewardBuf = make([]float64, len(v.Envs))
+		v.termBuf = make([]float64, len(v.Envs))
+	}
+	rewards, terminals = v.rewardBuf, v.termBuf
 	for i, e := range v.Envs {
 		s, r, done := e.Step(actions[i])
 		rewards[i] = r
+		terminals[i] = 0
 		v.EpisodeRewards[i] += r
 		if done {
 			terminals[i] = 1
@@ -116,8 +136,28 @@ func (v *VectorEnv) StepAll(actions []int) (obs *tensor.Tensor, rewards, termina
 	return v.batch(), rewards, terminals
 }
 
+// batch restacks the per-env states into the reused output buffer. The
+// first call (or an observation-shape change, e.g. a wrapper swap)
+// allocates; steady-state calls only copy.
 func (v *VectorEnv) batch() *tensor.Tensor {
-	return tensor.Stack(v.states...)
+	if len(v.states) == 0 {
+		return tensor.Stack(v.states...)
+	}
+	elem := v.states[0].Shape()
+	b := v.batchBuf
+	if b == nil || b.Dim(0) != len(v.states) || !tensor.SameShape(b.Shape()[1:], elem) {
+		v.batchBuf = tensor.Stack(v.states...)
+		return v.batchBuf
+	}
+	n := v.states[0].Size()
+	for i, s := range v.states {
+		if !tensor.SameShape(s.Shape(), elem) {
+			v.batchBuf = tensor.Stack(v.states...) // falls back to Stack's panic path
+			return v.batchBuf
+		}
+		copy(b.Data()[i*n:(i+1)*n], s.Data())
+	}
+	return b
 }
 
 // FinishedCount returns the total number of episodes completed since

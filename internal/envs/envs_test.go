@@ -480,6 +480,74 @@ func TestFrameStackPostResetMutation(t *testing.T) {
 	}
 }
 
+// TestVectorEnvBufferReuse pins the documented borrowing contract: in steady
+// state States/StepAll hand back the SAME batch tensor and reward/terminal
+// slices (no per-step allocation), each call overwrites them with current
+// values, and terminal flags from a previous step never leak into the next.
+func TestVectorEnvBufferReuse(t *testing.T) {
+	v := NewVectorEnv(&mutEnv{shape: []int{3}}, &mutEnv{shape: []int{3}})
+	first := v.ResetAll()
+	if got := v.States(); got != first {
+		t.Fatal("States allocated a fresh batch instead of reusing the buffer")
+	}
+	obs1, rew1, term1 := v.StepAll([]int{0, 0})
+	if obs1 != first {
+		t.Fatal("StepAll allocated a fresh batch instead of reusing the buffer")
+	}
+	obs2, rew2, term2 := v.StepAll([]int{0, 0})
+	if obs2 != obs1 || &rew2[0] != &rew1[0] || &term2[0] != &term1[0] {
+		t.Fatal("second StepAll did not reuse the output buffers")
+	}
+	// mutEnv observations equal the per-env step counter, so the borrowed
+	// buffer must now hold 2s everywhere — the step-1 values were overwritten.
+	for i, x := range obs1.Data() {
+		if x != 2 {
+			t.Fatalf("batch[%d] = %g after 2 steps, want 2", i, x)
+		}
+	}
+
+	// Terminal flags must be recomputed, not sticky: drive a 2x2 GridWorld to
+	// its goal (terminal), then step again and require the flag cleared.
+	g := NewVectorEnv(NewGridWorld(2, 1))
+	g.ResetAll()
+	g.StepAll([]int{3})
+	_, _, term := g.StepAll([]int{1})
+	if term[0] != 1 {
+		t.Fatal("goal step should terminate")
+	}
+	_, _, term = g.StepAll([]int{0})
+	if term[0] != 0 {
+		t.Fatal("terminal flag leaked into the next step through the reused buffer")
+	}
+}
+
+// TestFrameStackStableUnderVectorEnvReuse drives FrameStack-wrapped envs
+// through a VectorEnv and checks that a retained (copied) stacked observation
+// keeps its frame history while the VectorEnv keeps overwriting its borrowed
+// batch buffer — the composition the worker relies on.
+func TestFrameStackStableUnderVectorEnvReuse(t *testing.T) {
+	v := NewVectorEnv(NewFrameStack(&mutEnv{shape: []int{2}}, 3))
+	v.ResetAll()
+	v.StepAll([]int{0})
+	obs, _, _ := v.StepAll([]int{0}) // stack now holds frames 0,1,2
+	row := tensor.Row(obs, 0)        // copy, as the borrowing contract requires
+	snap := append([]float64(nil), row.Data()...)
+	for s := 0; s < 3; s++ {
+		v.StepAll([]int{0})
+	}
+	want := []float64{0, 0, 1, 1, 2, 2}
+	for i, x := range snap {
+		if x != want[i] {
+			t.Fatalf("stacked frames = %v, want %v", snap, want)
+		}
+	}
+	for i, x := range row.Data() {
+		if x != snap[i] {
+			t.Fatalf("retained row mutated at %d after further steps", i)
+		}
+	}
+}
+
 func TestFrameStackFeatures(t *testing.T) {
 	fs := NewFrameStack(NewCartPole(1), 2)
 	if !tensor.SameShape(fs.StateSpace().Shape(), []int{8}) {

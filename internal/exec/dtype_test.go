@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"rlgraph/internal/tensor"
+)
+
+// TestStaticExecutorSetDType proves the executor-level dtype knob: setting
+// Float32 before or after Build lowers subsequent Executes, outputs stay
+// float64, results match the float64 run within float32 tolerance, and
+// switching back to Float64 restores bit-for-bit identical results.
+func TestStaticExecutorSetDType(t *testing.T) {
+	build := func() *StaticExecutor {
+		root, _, _ := pipelineRoot()
+		ex := NewStatic(root)
+		if _, err := ex.Build(inSpec()); err != nil {
+			t.Fatal(err)
+		}
+		return ex
+	}
+	in := tensor.FromSlice([]float64{1.25, -2.5, 3.75}, 1, 3)
+
+	ref := build()
+	want, err := ref.Execute("forward", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ex := build()
+	ex.SetDType(tensor.Float32)
+	if ex.DType() != tensor.Float32 {
+		t.Fatalf("DType() = %v", ex.DType())
+	}
+	got, err := ex.Execute("forward", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dtype() != tensor.Float64 {
+		t.Fatalf("lowered Execute returned dtype %v, want Float64", got[0].Dtype())
+	}
+	for i := range got[0].Data() {
+		diff := math.Abs(got[0].Data()[i] - want[0].Data()[i])
+		if diff > 1e-4+1e-4*math.Abs(want[0].Data()[i]) {
+			t.Fatalf("elem %d: lowered %g vs f64 %g", i, got[0].Data()[i], want[0].Data()[i])
+		}
+	}
+
+	// Toggling back must restore the exact float64 bits.
+	ex.SetDType(tensor.Float64)
+	back, err := ex.Execute("forward", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back[0].Data() {
+		if math.Float64bits(back[0].Data()[i]) != math.Float64bits(want[0].Data()[i]) {
+			t.Fatalf("elem %d: f64 path diverged after dtype toggle", i)
+		}
+	}
+
+	// Setting the dtype before Build applies at build time.
+	root, _, _ := pipelineRoot()
+	pre := NewStatic(root)
+	pre.SetDType(tensor.Float32)
+	if _, err := pre.Build(inSpec()); err != nil {
+		t.Fatal(err)
+	}
+	preOut, err := pre.Execute("forward", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preOut[0].Data() {
+		diff := math.Abs(preOut[0].Data()[i] - want[0].Data()[i])
+		if diff > 1e-4+1e-4*math.Abs(want[0].Data()[i]) {
+			t.Fatalf("pre-build elem %d: lowered %g vs f64 %g", i, preOut[0].Data()[i], want[0].Data()[i])
+		}
+	}
+}

@@ -40,6 +40,7 @@ type StaticExecutor struct {
 	devLimits      map[string]int
 	fusionOff      bool
 	bufferReuseOff bool
+	dtype          tensor.Dtype
 }
 
 // NewStatic returns an unbuilt static executor for root.
@@ -118,6 +119,7 @@ func (e *StaticExecutor) Build(in InputSpaces) (*BuildReport, error) {
 	}
 	e.sess.SetFusion(!e.fusionOff)
 	e.sess.SetBufferReuse(!e.bufferReuseOff)
+	e.sess.SetDType(e.dtype)
 	// Precompile one execution plan per registry entry so Execute never pays
 	// plan compilation or cache-key hashing.
 	for api, ent := range e.registry {
@@ -183,6 +185,21 @@ func (e *StaticExecutor) SetBufferReuse(on bool) {
 		e.sess.SetBufferReuse(on)
 	}
 }
+
+// SetDType selects the storage type plan execution runs on (default
+// tensor.Float64; see graph.Session.SetDType). With tensor.Float32 every
+// Execute runs dtype-lowered — float32 kernels inside, float64 tensors at the
+// Execute boundary. May be called before or after Build; it affects
+// subsequent Executes.
+func (e *StaticExecutor) SetDType(d tensor.Dtype) {
+	e.dtype = d
+	if e.sess != nil {
+		e.sess.SetDType(d)
+	}
+}
+
+// DType returns the storage type plan execution currently runs on.
+func (e *StaticExecutor) DType() tensor.Dtype { return e.dtype }
 
 // Execute looks the API up in the op registry, validates and assembles
 // feeds, and issues one batched session call over the entry's precompiled

@@ -87,6 +87,14 @@ type Worker struct {
 
 	windows [][]pending // per-env n-step windows
 
+	// rowPool is a free list of element-shaped observation rows. Sample
+	// copies every retained observation out of the VectorEnv's borrowed
+	// batch buffer into pooled rows, and returns them after the emitted
+	// transitions are stacked into the output Batch — steady-state sampling
+	// allocates no fresh row storage.
+	rowPool []*tensor.Tensor
+	acts    []int // reused action scratch
+
 	// TotalFrames accumulates frames over the worker's lifetime.
 	TotalFrames int
 }
@@ -113,6 +121,40 @@ func NewWorker(agent *agents.DQN, vec *envs.VectorEnv, cfg WorkerConfig) *Worker
 // SetWeights installs learner weights into the worker's agent.
 func (w *Worker) SetWeights(weights map[string]*tensor.Tensor) error {
 	return w.Agent.SetWeights(weights)
+}
+
+// getRow copies row i of the batched observation src into a pooled
+// element-shaped tensor, detaching it from src's (borrowed, reused) storage.
+func (w *Worker) getRow(src *tensor.Tensor, i int) *tensor.Tensor {
+	n := src.Size() / src.Dim(0)
+	var r *tensor.Tensor
+	if k := len(w.rowPool); k > 0 {
+		r = w.rowPool[k-1]
+		w.rowPool = w.rowPool[:k-1]
+		if !tensor.SameShape(r.Shape(), src.Shape()[1:]) {
+			r = nil // observation shape changed: drop the stale buffer
+		}
+	}
+	if r == nil {
+		r = tensor.New(src.Shape()[1:]...)
+	}
+	copy(r.Data(), src.Data()[i*n:(i+1)*n])
+	return r
+}
+
+// putRows returns emitted rows to the pool. Consecutive duplicates are
+// skipped: a terminal flush emits the same next-state row once per matured
+// window entry, and pooling it twice would hand the same buffer to two
+// future transitions.
+func (w *Worker) putRows(rows []*tensor.Tensor) {
+	var prev *tensor.Tensor
+	for _, r := range rows {
+		if r == prev {
+			continue
+		}
+		w.rowPool = append(w.rowPool, r)
+		prev = r
+	}
 }
 
 // Sample runs numSteps vectorized act/step iterations and returns the
@@ -143,37 +185,48 @@ func (w *Worker) Sample(numSteps int) (*Batch, error) {
 		return ret
 	}
 
+	if w.acts == nil {
+		w.acts = make([]int, w.Vec.Len())
+	}
 	for step := 0; step < numSteps; step++ {
 		states := w.Vec.States()
 		actions, err := w.Agent.GetActions(states, true)
 		if err != nil {
 			return nil, fmt.Errorf("execution: acting: %w", err)
 		}
-		acts := make([]int, w.Vec.Len())
+		acts := w.acts
 		for i := range acts {
 			acts[i] = int(actions.Data()[i])
 		}
-		prevStates := states
-		nextStates, rewards, terms := w.Vec.StepAll(acts)
+		// The batched states tensor is borrowed from the VectorEnv and will
+		// be overwritten by StepAll, so the retained prev-state rows are
+		// copied out (into pooled buffers) before stepping. The reward is
+		// filled in after the step.
 		for i := 0; i < w.Vec.Len(); i++ {
 			w.windows[i] = append(w.windows[i], pending{
-				s:      tensor.Row(prevStates, i),
+				s:      w.getRow(states, i),
 				action: float64(acts[i]),
-				reward: rewards[i],
 			})
-			ns := tensor.Row(nextStates, i)
+		}
+		nextStates, rewards, terms := w.Vec.StepAll(acts)
+		for i := 0; i < w.Vec.Len(); i++ {
+			win := w.windows[i]
+			win[len(win)-1].reward = rewards[i]
 			if terms[i] == 1 {
 				// Terminal: flush the whole window with truncated returns.
-				for j, p := range w.windows[i] {
-					emit(p, nstepReturn(w.windows[i], j), ns, 1)
+				// The next-state row is materialized lazily — only steps
+				// that emit transitions copy it.
+				ns := w.getRow(nextStates, i)
+				for j, p := range win {
+					emit(p, nstepReturn(win, j), ns, 1)
 				}
-				w.windows[i] = w.windows[i][:0]
+				w.windows[i] = win[:0]
 				continue
 			}
-			if len(w.windows[i]) >= w.cfg.NStep {
-				p := w.windows[i][0]
-				emit(p, nstepReturn(w.windows[i], 0), ns, 0)
-				w.windows[i] = w.windows[i][1:]
+			if len(win) >= w.cfg.NStep {
+				p := win[0]
+				emit(p, nstepReturn(win, 0), w.getRow(nextStates, i), 0)
+				w.windows[i] = win[1:]
 			}
 		}
 	}
@@ -192,6 +245,11 @@ func (w *Worker) Sample(numSteps int) (*Batch, error) {
 		Frames: frames,
 		Steps:  numSteps,
 	}
+	// Stack copied the rows into the batch, so the pooled buffers can be
+	// reused by the next Sample. Rows still pending in n-step windows are
+	// intentionally not returned — they have not been emitted yet.
+	w.putRows(outS)
+	w.putRows(outNS)
 	if w.cfg.ComputePriorities {
 		prio, err := w.Agent.ComputePriorities(b.S, b.A, b.R, b.NS, b.T)
 		if err != nil {

@@ -155,6 +155,77 @@ func TestWorkerFrameSkipAccounting(t *testing.T) {
 	}
 }
 
+func TestWorkerRowPoolReuseKeepsBatchesIndependent(t *testing.T) {
+	// Row buffers recycled through the pool must not alias across Sample
+	// calls: a batch's rows are snapshots, so mutating one batch (or taking
+	// another) cannot change an earlier batch's contents.
+	env1, env2 := envs.NewGridWorld(3, 1), envs.NewGridWorld(3, 2)
+	vec := envs.NewVectorEnv(env1, env2)
+	agent := testAgent(t, env1, false)
+	w := NewWorker(agent, vec, WorkerConfig{NStep: 2, Gamma: 0.9})
+	b1, err := w.Sample(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := append([]float64(nil), b1.S.Data()...)
+	if _, err := w.Sample(8); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b1.S.Data() {
+		if v != snap[i] {
+			t.Fatalf("batch 1 state data mutated at %d after second Sample", i)
+		}
+	}
+	// One-hot GridWorld states: every emitted row must still be a valid
+	// observation (exactly one 1 per row), catching stale/zeroed pool rows.
+	n := b1.S.Dim(1)
+	for i := 0; i < b1.Len(); i++ {
+		ones := 0
+		for j := 0; j < n; j++ {
+			if b1.S.At(i, j) == 1 {
+				ones++
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("row %d is not a one-hot observation", i)
+		}
+	}
+}
+
+// BenchmarkWorkerSampleAllocs measures steady-state allocations of the
+// vectorized sample loop (satellite of the dtype/scratch perf PR): with the
+// row pool and the VectorEnv's reused batch buffers, per-step overhead is a
+// handful of output-batch allocations rather than one row per env per step.
+func BenchmarkWorkerSampleAllocs(b *testing.B) {
+	env1, env2 := envs.NewGridWorld(4, 1), envs.NewGridWorld(4, 2)
+	vec := envs.NewVectorEnv(env1, env2)
+	cfg := agents.DQNConfig{
+		Backend: "static",
+		Network: []nn.LayerSpec{{Type: "dense", Units: 16, Activation: "relu"}},
+		Gamma:   0.99,
+		Memory:  agents.MemoryConfig{Type: "replay", Capacity: 1000},
+		Seed:    1,
+	}
+	agent, err := agents.NewDQN(cfg, env1.StateSpace(), env1.ActionSpace())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := agent.Build(); err != nil {
+		b.Fatal(err)
+	}
+	w := NewWorker(agent, vec, WorkerConfig{NStep: 3, Gamma: 0.99})
+	if _, err := w.Sample(16); err != nil { // warm pools and windows
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Sample(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestConcatBatches(t *testing.T) {
 	a := &Batch{
 		S: tensor.New(2, 3), A: tensor.New(2), R: tensor.New(2),

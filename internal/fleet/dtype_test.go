@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"rlgraph/internal/agents"
+	"rlgraph/internal/envs"
+	"rlgraph/internal/serve"
+	"rlgraph/internal/tensor"
+)
+
+// TestFleetLoweredReplicasMatchAndReconvertOnSwap proves the fleet dtype
+// knob: replicas built through DQNBuildWithDType(..., Float32) serve greedy
+// actions that agree with a float64 reference service, and a float64 weight
+// swap pushed through SwapAll is picked up by the lowered replicas (the
+// pointer-keyed conversion cache reconverts on the next run).
+func TestFleetLoweredReplicasMatchAndReconvertOnSwap(t *testing.T) {
+	elem := envs.NewGridWorld(8, 0).StateSpace()
+	f := Config{
+		Replicas: 2,
+		Build: DQNBuildWithDType(func(i int) (*agents.DQN, error) {
+			return buildChaosAgent(t, 3), nil // identical weights per replica
+		}, false, tensor.Float32),
+		Serve: serve.Config{
+			Elem:         elem,
+			MaxBatch:     8,
+			FlushLatency: 200 * time.Microsecond,
+		},
+		Seed: 1,
+	}
+	rt, err := New(f)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx)
+	}()
+
+	pool := chaosObsPool(12)
+
+	checkAgainst := func(ref *agents.DQN, phase string) {
+		refSvc := serve.NewForDQN(ref, false, serve.Config{Elem: elem, MaxBatch: 8, FlushLatency: 200 * time.Microsecond})
+		defer func() { _ = refSvc.Close() }()
+		for i, obs := range pool {
+			got, err := rt.Act(obs, time.Time{})
+			if err != nil {
+				t.Fatalf("%s: fleet act %d: %v", phase, i, err)
+			}
+			want, err := refSvc.Act(obs, time.Time{})
+			if err != nil {
+				t.Fatalf("%s: reference act %d: %v", phase, i, err)
+			}
+			if got.Dtype() != tensor.Float64 {
+				t.Fatalf("%s: act %d dtype %v, want Float64", phase, i, got.Dtype())
+			}
+			// Greedy actions are integer-valued argmax indices; float32
+			// Q-value rounding must not flip them on this workload.
+			if math.Abs(got.Data()[0]-want.Data()[0]) > 0 {
+				t.Fatalf("%s: act %d: lowered fleet chose %v, f64 reference %v",
+					phase, i, got.Data()[0], want.Data()[0])
+			}
+		}
+	}
+
+	checkAgainst(buildChaosAgent(t, 3), "initial weights")
+
+	// Push a different snapshot (float64, as a trainer would) and verify the
+	// lowered replicas serve the new weights.
+	donor := buildChaosAgent(t, 11)
+	if err := rt.SwapAll(donor.GetWeights(), 1); err != nil {
+		t.Fatalf("SwapAll: %v", err)
+	}
+	ref2 := buildChaosAgent(t, 3)
+	if err := ref2.SetWeights(donor.GetWeights()); err != nil {
+		t.Fatalf("SetWeights: %v", err)
+	}
+	checkAgainst(ref2, "post-swap")
+}

@@ -149,6 +149,16 @@ func (p *Plan) fuseSteps() {
 					}
 					return tensor.Add(tensor.Scale(a, sa), tensor.Scale(b, sb)), nil
 				}
+				sa32, sb32 := float32(sa), float32(sb)
+				st.eval32 = func(ctx *RunCtx, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+					a, b := ins[0], ins[1]
+					if tensor.SameShape(a.Shape(), b.Shape()) {
+						return tensor.ScaleAddScaleInto32(ctx.NewTensor32(a.Shape()...), a, sa32, b, sb32), nil
+					}
+					return lowCompose(ctx, ins, func(c []*tensor.Tensor) *tensor.Tensor {
+						return tensor.Add(tensor.Scale(c[0], sa), tensor.Scale(c[1], sb))
+					}), nil
+				}
 				p.rewriteStep(i, []int32{a, b}, consumed, p0, p1)
 			case isScale0:
 				// Add(Scale(a,s), b) -> ScaledAdd.
@@ -159,6 +169,16 @@ func (p *Plan) fuseSteps() {
 						return tensor.ScaledAddInto(ctx.NewTensor(a.Shape()...), a, s, b), nil
 					}
 					return tensor.Add(tensor.Scale(a, s), b), nil
+				}
+				s32 := float32(s)
+				st.eval32 = func(ctx *RunCtx, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+					a, b := ins[0], ins[1]
+					if tensor.SameShape(a.Shape(), b.Shape()) {
+						return tensor.ScaledAddInto32(ctx.NewTensor32(a.Shape()...), a, s32, b), nil
+					}
+					return lowCompose(ctx, ins, func(c []*tensor.Tensor) *tensor.Tensor {
+						return tensor.Add(tensor.Scale(c[0], s), c[1])
+					}), nil
 				}
 				p.rewriteStep(i, []int32{a, in1}, consumed, p0)
 			case isScale1:
@@ -171,6 +191,16 @@ func (p *Plan) fuseSteps() {
 					}
 					return tensor.Add(a, tensor.Scale(b, s)), nil
 				}
+				s32 := float32(s)
+				st.eval32 = func(ctx *RunCtx, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+					a, b := ins[0], ins[1]
+					if tensor.SameShape(a.Shape(), b.Shape()) {
+						return tensor.AddScaledInto32(ctx.NewTensor32(a.Shape()...), a, b, s32), nil
+					}
+					return lowCompose(ctx, ins, func(c []*tensor.Tensor) *tensor.Tensor {
+						return tensor.Add(c[0], tensor.Scale(c[1], s))
+					}), nil
+				}
 				p.rewriteStep(i, []int32{in0, b}, consumed, p1)
 			case ok1 && isOpNamed(p.steps[p1].node, "Mul") && p.steps[p1].insLen == 2:
 				// Add(a, Mul(b,c)) -> MulAdd.
@@ -182,6 +212,15 @@ func (p *Plan) fuseSteps() {
 					}
 					return tensor.Add(a, tensor.Mul(b, c)), nil
 				}
+				st.eval32 = func(ctx *RunCtx, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+					a, b, c := ins[0], ins[1], ins[2]
+					if tensor.SameShape(a.Shape(), b.Shape()) && tensor.SameShape(b.Shape(), c.Shape()) {
+						return tensor.MulAddInto32(ctx.NewTensor32(a.Shape()...), a, b, c), nil
+					}
+					return lowCompose(ctx, ins, func(cv []*tensor.Tensor) *tensor.Tensor {
+						return tensor.Add(cv[0], tensor.Mul(cv[1], cv[2]))
+					}), nil
+				}
 				p.rewriteStep(i, []int32{in0, b, c}, consumed, p1)
 			case ok0 && isOpNamed(p.steps[p0].node, "Mul") && p.steps[p0].insLen == 2:
 				// Add(Mul(a,b), c) -> AddMul.
@@ -192,6 +231,15 @@ func (p *Plan) fuseSteps() {
 						return tensor.AddMulInto(ctx.NewTensor(a.Shape()...), a, b, c), nil
 					}
 					return tensor.Add(tensor.Mul(a, b), c), nil
+				}
+				st.eval32 = func(ctx *RunCtx, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+					a, b, c := ins[0], ins[1], ins[2]
+					if tensor.SameShape(a.Shape(), b.Shape()) && tensor.SameShape(b.Shape(), c.Shape()) {
+						return tensor.AddMulInto32(ctx.NewTensor32(a.Shape()...), a, b, c), nil
+					}
+					return lowCompose(ctx, ins, func(cv []*tensor.Tensor) *tensor.Tensor {
+						return tensor.Add(tensor.Mul(cv[0], cv[1]), cv[2])
+					}), nil
 				}
 				p.rewriteStep(i, []int32{a, b, in1}, consumed, p0)
 			}
@@ -207,6 +255,16 @@ func (p *Plan) fuseSteps() {
 						}
 						return tensor.Sub(a, tensor.Scale(b, s)), nil
 					}
+					s32 := float32(s)
+					st.eval32 = func(ctx *RunCtx, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+						a, b := ins[0], ins[1]
+						if tensor.SameShape(a.Shape(), b.Shape()) {
+							return tensor.SubScaledInto32(ctx.NewTensor32(a.Shape()...), a, b, s32), nil
+						}
+						return lowCompose(ctx, ins, func(c []*tensor.Tensor) *tensor.Tensor {
+							return tensor.Sub(c[0], tensor.Scale(c[1], s))
+						}), nil
+					}
 					p.rewriteStep(i, []int32{in0, b}, consumed, p1)
 				}
 			}
@@ -220,6 +278,15 @@ func (p *Plan) fuseSteps() {
 						return tensor.ReluBackwardInto(ctx.NewTensor(gy.Shape()...), gy, x), nil
 					}
 					return tensor.Mul(gy, tensor.ReluGrad(x)), nil
+				}
+				st.eval32 = func(ctx *RunCtx, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+					gy, x := ins[0], ins[1]
+					if tensor.SameShape(gy.Shape(), x.Shape()) {
+						return tensor.ReluBackwardInto32(ctx.NewTensor32(gy.Shape()...), gy, x), nil
+					}
+					return lowCompose(ctx, ins, func(c []*tensor.Tensor) *tensor.Tensor {
+						return tensor.Mul(c[0], tensor.ReluGrad(c[1]))
+					}), nil
 				}
 				p.rewriteStep(i, []int32{in0, x}, consumed, p1)
 			}

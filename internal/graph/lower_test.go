@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"rlgraph/internal/tensor"
+	"rlgraph/internal/vars"
+)
+
+// Tolerance for float32-lowered execution against the float64 reference.
+// Float32 carries ~1e-7 relative error per operation; the random programs
+// chain up to 50 elementwise/reduction ops, so the accumulated divergence
+// stays well inside 1e-4 absolute + 1e-4 relative on bounded values (the
+// harness's tanh/sigmoid chains keep magnitudes small). Set empirically with
+// ~2x headroom over the worst observed divergence across the seed sweep;
+// see DESIGN.md §5.12 for the tolerance policy.
+const (
+	loweredAbsTol = 1e-4
+	loweredRelTol = 1e-4
+)
+
+func withinLoweredTol(got, want *tensor.Tensor) (int, float64, bool) {
+	if !tensor.SameShape(got.Shape(), want.Shape()) {
+		return -1, 0, false
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		diff := math.Abs(gd[i] - wd[i])
+		if diff > loweredAbsTol+loweredRelTol*math.Abs(wd[i]) {
+			return i, diff, false
+		}
+	}
+	return -1, 0, true
+}
+
+// TestLoweredDifferentialRandomDAGs runs the same random programs as the
+// float64 differential test through both lowered executors and checks the
+// results against the float64 recursive reference within the documented
+// float32 tolerance. It also pins the API contract that lowered fetches are
+// converted back to float64 before the caller sees them.
+func TestLoweredDifferentialRandomDAGs(t *testing.T) {
+	modes := []struct {
+		name string
+		mode evalMode
+	}{
+		{"lowered-serial", modePlanLowered},
+		{"lowered-parallel", modePlanLoweredParallel},
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		ref, err := runRandomProgram(seed, modeRecursive)
+		if err != nil {
+			t.Fatalf("seed %d: recursive: %v", seed, err)
+		}
+		for _, m := range modes {
+			got, err := runRandomProgram(seed, m.mode)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, m.name, err)
+			}
+			if len(ref) != len(got) {
+				t.Fatalf("seed %d: %s: fetch count mismatch", seed, m.name)
+			}
+			for i := range ref {
+				if got[i].Dtype() != tensor.Float64 {
+					t.Fatalf("seed %d fetch %d: %s returned dtype %v, want Float64 at the API boundary",
+						seed, i, m.name, got[i].Dtype())
+				}
+				if at, diff, ok := withinLoweredTol(got[i], ref[i]); !ok {
+					t.Fatalf("seed %d fetch %d: %s diverged from float64 reference at elem %d (|diff|=%g):\n%v\nvs\n%v",
+						seed, i, m.name, at, diff, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLoweredWeightCacheInvalidationOnSwap proves the pointer-keyed weight
+// cache reconverts after a variable swap: vars.Variable.Set installs a new
+// tensor (clone), which is exactly how serve.Barrier hot-swaps weights, so
+// the next lowered run must see the new values, not the stale float32 cache.
+func TestLoweredWeightCacheInvalidationOnSwap(t *testing.T) {
+	g := New()
+	v := vars.New("w", tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2))
+	x := Placeholder(g, "x", []int{2, 2})
+	y := MatMul(g, VarRead(g, v), x)
+
+	sess := NewSession(g)
+	sess.SetDType(tensor.Float32)
+	feeds := Feeds{x: tensor.FromSlice([]float64{1, 0, 0, 1}, 2, 2)}
+
+	run := func() *tensor.Tensor {
+		out, err := sess.Run([]*Node{y}, feeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0]
+	}
+
+	first := run()
+	// Re-running with unchanged weights must hit the cache and agree exactly.
+	if at, diff, ok := withinLoweredTol(run(), first); !ok {
+		t.Fatalf("repeat lowered run diverged at elem %d (|diff|=%g)", at, diff)
+	}
+
+	v.Set(tensor.FromSlice([]float64{10, 20, 30, 40}, 2, 2))
+	swapped := run()
+	want := tensor.FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	if at, diff, ok := withinLoweredTol(swapped, want); !ok {
+		t.Fatalf("post-swap lowered run did not reconvert weights: elem %d (|diff|=%g): got %v", at, diff, swapped)
+	}
+}
+
+// TestLoweredFeedStagingDoesNotAliasFetches proves the returned fetch tensor
+// is detached from the per-plan staging and cache storage: mutating a fetched
+// tensor must not corrupt the next run.
+func TestLoweredFeedStagingDoesNotAliasFetches(t *testing.T) {
+	g := New()
+	x := Placeholder(g, "x", []int{2, 2})
+	y := AddScalar(g, x, 1)
+
+	sess := NewSession(g)
+	sess.SetDType(tensor.Float32)
+	feeds := Feeds{x: tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)}
+
+	out1, err := sess.Run([]*Node{y}, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out1[0].Data() {
+		out1[0].Data()[i] = -999 // caller scribbles on its fetch
+	}
+	out2, err := sess.Run([]*Node{y}, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.FromSlice([]float64{2, 3, 4, 5}, 2, 2)
+	if at, diff, ok := withinLoweredTol(out2[0], want); !ok {
+		t.Fatalf("second run corrupted by fetch mutation: elem %d (|diff|=%g): got %v", at, diff, out2[0])
+	}
+}
+
+// TestFloat64PathIgnoresDTypeToggle pins that flipping the session dtype to
+// Float32 and back restores bit-for-bit identical float64 results: lowering
+// must be a pure execution-strategy toggle leaving no residue (stale staging,
+// cached conversions, recycled f32 buffers) on the float64 path.
+func TestFloat64PathIgnoresDTypeToggle(t *testing.T) {
+	g := New()
+	v := vars.New("w", tensor.FromSlice([]float64{0.5, -1.25, 2, 0.125, -3, 7}, 2, 3))
+	x := Placeholder(g, "x", []int{3, 2})
+	h := Tanh(g, MatMul(g, VarRead(g, v), x))
+	y := Add(g, h, ConstScalar(g, 0.25))
+	fetches := []*Node{y, Sum(g, h)}
+
+	sess := NewSession(g)
+	feeds := Feeds{x: tensor.FromSlice([]float64{1, -2, 0.5, 4, -0.25, 8}, 3, 2)}
+
+	ref, err := sess.Run(fetches, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SetDType(tensor.Float32)
+	if _, err := sess.Run(fetches, feeds); err != nil { // populate caches, staging
+		t.Fatal(err)
+	}
+	sess.SetDType(tensor.Float64)
+	got, err := sess.Run(fetches, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if !bitsEqual(ref[i], got[i]) {
+			t.Fatalf("fetch %d: f64 run after dtype toggle diverged bit-for-bit:\n%v\nvs\n%v", i, got[i], ref[i])
+		}
+	}
+}

@@ -75,21 +75,42 @@ func (n *Node) Variable() *vars.Variable {
 }
 
 // assignOp writes its input into a variable and yields the written value.
-type assignOp struct{ v *vars.Variable }
+// When owned is set, the input tensor is installed without a copy (ownership
+// transfer); otherwise the variable clones it.
+type assignOp struct {
+	v     *vars.Variable
+	owned bool
+}
 
 func (o *assignOp) Name() string { return "Assign" }
 func (o *assignOp) InferShape(in [][]int) ([]int, error) {
 	return in[0], nil
 }
 func (o *assignOp) Eval(_ *RunCtx, inputs []*tensor.Tensor) (*tensor.Tensor, error) {
-	o.v.Set(inputs[0])
+	if o.owned {
+		o.v.SetOwned(inputs[0])
+	} else {
+		o.v.Set(inputs[0])
+	}
 	return inputs[0], nil
 }
 func (o *assignOp) StatefulEval() {}
 
 // Assign adds a stateful node that stores val into v when evaluated.
+//
+// When val is produced by a value-semantics op its output is a fresh tensor
+// aliasing nothing else, and — because assignOp is a non-value-semantics
+// consumer — the plan's release analysis never recycles it through the run
+// arena. The assign can therefore transfer ownership instead of cloning,
+// which removes the dominant steady-state heap traffic of optimizer updates
+// (one full parameter-sized clone per slot variable per step). Aliasing
+// producers (varRead, identity, feeds, consts) keep the defensive clone.
+// Callers must not assign one value-semantics node to two different
+// variables (both would own the same tensor); no graph builder in this
+// repo does.
 func Assign(g *Graph, v *vars.Variable, val *Node) *Node {
-	return g.Add(&assignOp{v: v}, val)
+	_, vs := val.op.(ValueSemanticsOp)
+	return g.Add(&assignOp{v: v, owned: vs}, val)
 }
 
 // addToOp accumulates its input into a variable in place (for gradient
@@ -117,8 +138,10 @@ type groupOp struct{}
 
 func (groupOp) Name() string                      { return "Group" }
 func (groupOp) InferShape([][]int) ([]int, error) { return []int{}, nil }
-func (groupOp) Eval(*RunCtx, []*tensor.Tensor) (*tensor.Tensor, error) {
-	return tensor.Scalar(0), nil
+func (groupOp) Eval(ctx *RunCtx, _ []*tensor.Tensor) (*tensor.Tensor, error) {
+	// Arena-backed zero scalar: group results are produced once per optimizer
+	// step chain, so a heap Scalar here shows up directly in allocs/op.
+	return ctx.NewTensor(), nil
 }
 
 func (groupOp) ValueSemantics() {}
@@ -274,8 +297,17 @@ type unbroadcastLikeOp struct{}
 
 func (unbroadcastLikeOp) Name() string                         { return "UnbroadcastLike" }
 func (unbroadcastLikeOp) InferShape(in [][]int) ([]int, error) { return in[1], nil }
-func (unbroadcastLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	return tensor.UnbroadcastTo(in[0], in[1].Shape()), nil
+func (unbroadcastLikeOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	if tensor.SameShape(in[0].Shape(), in[1].Shape()) {
+		// Nothing was broadcast: copy through arena-backed storage instead of
+		// UnbroadcastTo's Clone, which always heap-allocates.
+		out := ctx.NewTensor(in[0].Shape()...)
+		out.CopyFrom(in[0])
+		return out, nil
+	}
+	// Arena-backed accumulation: NewTensor zero-fills, so the Into form is
+	// identical to UnbroadcastTo minus its heap allocation.
+	return tensor.UnbroadcastInto(ctx.NewTensor(in[1].Shape()...), in[0]), nil
 }
 
 func (unbroadcastLikeOp) ValueSemantics() {}
@@ -289,8 +321,12 @@ type broadcastLikeOp struct{}
 
 func (broadcastLikeOp) Name() string                         { return "BroadcastLike" }
 func (broadcastLikeOp) InferShape(in [][]int) ([]int, error) { return in[1], nil }
-func (broadcastLikeOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	return tensor.Add(tensor.New(in[1].Shape()...), in[0]), nil
+func (broadcastLikeOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	// NewTensor zero-fills, so accumulate-broadcast equals the former
+	// Add(zeros, x) formulation bit for bit, minus both heap allocations.
+	out := ctx.NewTensor(in[1].Shape()...)
+	tensor.AddBroadcastInPlace(out, in[0])
+	return out, nil
 }
 
 func (broadcastLikeOp) ValueSemantics() {}

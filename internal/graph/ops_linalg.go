@@ -45,11 +45,11 @@ func (o *matmulOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error
 	a, b := in[0], in[1]
 	switch {
 	case o.transA:
-		return tensor.MatMulTransAInto(ctx.NewTensor(a.Dim(1), b.Dim(1)), a, b), nil
+		return tensor.MatMulTransAInto(ctx.NewTensor2(a.Dim(1), b.Dim(1)), a, b), nil
 	case o.transB:
-		return tensor.MatMulTransBInto(ctx.NewTensor(a.Dim(0), b.Dim(0)), a, b), nil
+		return tensor.MatMulTransBInto(ctx.NewTensor2(a.Dim(0), b.Dim(0)), a, b), nil
 	default:
-		return tensor.MatMulInto(ctx.NewTensor(a.Dim(0), b.Dim(1)), a, b), nil
+		return tensor.MatMulInto(ctx.NewTensor2(a.Dim(0), b.Dim(1)), a, b), nil
 	}
 }
 

@@ -16,6 +16,7 @@ type binOp struct {
 	name   string
 	fn     func(a, b *tensor.Tensor) *tensor.Tensor
 	flat   func(dst, a, b []float64)
+	flat32 func(dst, a, b []float32) // lowered-path kernel (see lower.go)
 	gradFn func(g *Graph, n *Node, gy *Node) []*Node
 }
 
@@ -27,10 +28,35 @@ func (o *binOp) InferShape(in [][]int) ([]int, error) {
 	return broadcastStatic(in[0], in[1])
 }
 func (o *binOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.flat != nil && tensor.SameShape(in[0].Shape(), in[1].Shape()) {
-		out := ctx.NewTensor(in[0].Shape()...)
-		o.flat(out.Data(), in[0].Data(), in[1].Data())
-		return out, nil
+	if o.flat != nil {
+		a, b := in[0], in[1]
+		if tensor.SameShape(a.Shape(), b.Shape()) {
+			out := ctx.NewTensor(a.Shape()...)
+			o.flat(out.Data(), a.Data(), b.Data())
+			return out, nil
+		}
+		// Suffix broadcasts — bias adds ([B,N]+[N]) and scalar operands —
+		// tile the smaller operand over the larger one's leading dims, so the
+		// flat kernel can run once per tile with no broadcast indexers and no
+		// offset tables. Element order and arithmetic are exactly those of
+		// the generic tensor-package broadcast path, so results stay
+		// bit-for-bit identical.
+		if n := b.Size(); n > 0 && suffixShape(a.Shape(), b.Shape()) {
+			out := ctx.NewTensor(a.Shape()...)
+			od, ad, bd := out.Data(), a.Data(), b.Data()
+			for r := 0; r+n <= len(od); r += n {
+				o.flat(od[r:r+n], ad[r:r+n], bd)
+			}
+			return out, nil
+		}
+		if n := a.Size(); n > 0 && suffixShape(b.Shape(), a.Shape()) {
+			out := ctx.NewTensor(b.Shape()...)
+			od, ad, bd := out.Data(), a.Data(), b.Data()
+			for r := 0; r+n <= len(od); r += n {
+				o.flat(od[r:r+n], ad, bd[r:r+n])
+			}
+			return out, nil
+		}
 	}
 	return o.fn(in[0], in[1]), nil
 }
@@ -49,6 +75,7 @@ type unOp struct {
 	name   string
 	fn     func(a *tensor.Tensor) *tensor.Tensor
 	flat   func(dst, a []float64)
+	flat32 func(dst, a []float32) // lowered-path kernel (see lower.go)
 	sval   float64
 	gradFn func(g *Graph, n *Node, gy *Node) []*Node
 }
@@ -73,7 +100,7 @@ func (o *unOp) ValueSemantics() {}
 
 // Add returns a+b with broadcasting.
 func Add(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Add", fn: tensor.Add, flat: tensor.AddFlat,
+	return g.Add(&binOp{name: "Add", fn: tensor.Add, flat: tensor.AddFlat, flat32: tensor.AddFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{
 				UnbroadcastLike(g, gy, n.inputs[0]),
@@ -84,7 +111,7 @@ func Add(g *Graph, a, b *Node) *Node {
 
 // Sub returns a-b with broadcasting.
 func Sub(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Sub", fn: tensor.Sub, flat: tensor.SubFlat,
+	return g.Add(&binOp{name: "Sub", fn: tensor.Sub, flat: tensor.SubFlat, flat32: tensor.SubFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{
 				UnbroadcastLike(g, gy, n.inputs[0]),
@@ -95,7 +122,7 @@ func Sub(g *Graph, a, b *Node) *Node {
 
 // Mul returns a*b elementwise with broadcasting.
 func Mul(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Mul", fn: tensor.Mul, flat: tensor.MulFlat,
+	return g.Add(&binOp{name: "Mul", fn: tensor.Mul, flat: tensor.MulFlat, flat32: tensor.MulFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			a, b := n.inputs[0], n.inputs[1]
 			return []*Node{
@@ -107,7 +134,7 @@ func Mul(g *Graph, a, b *Node) *Node {
 
 // Div returns a/b elementwise with broadcasting.
 func Div(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Div", fn: tensor.Div, flat: tensor.DivFlat,
+	return g.Add(&binOp{name: "Div", fn: tensor.Div, flat: tensor.DivFlat, flat32: tensor.DivFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			a, b := n.inputs[0], n.inputs[1]
 			da := Div(g, gy, b)
@@ -119,7 +146,7 @@ func Div(g *Graph, a, b *Node) *Node {
 // Maximum returns elementwise max(a,b) with subgradient routed to the larger
 // operand (ties go to a).
 func Maximum(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Maximum", fn: tensor.Maximum, flat: tensor.MaximumFlat,
+	return g.Add(&binOp{name: "Maximum", fn: tensor.Maximum, flat: tensor.MaximumFlat, flat32: tensor.MaximumFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			a, b := n.inputs[0], n.inputs[1]
 			mask := GreaterEqual(g, a, b)
@@ -133,7 +160,7 @@ func Maximum(g *Graph, a, b *Node) *Node {
 // Minimum returns elementwise min(a,b) with subgradient to the smaller
 // operand (ties go to a).
 func Minimum(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Minimum", fn: tensor.Minimum, flat: tensor.MinimumFlat,
+	return g.Add(&binOp{name: "Minimum", fn: tensor.Minimum, flat: tensor.MinimumFlat, flat32: tensor.MinimumFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			a, b := n.inputs[0], n.inputs[1]
 			mask := LessEqual(g, a, b)
@@ -146,7 +173,7 @@ func Minimum(g *Graph, a, b *Node) *Node {
 
 // GreaterEqual returns 1 where a>=b else 0 (non-differentiable).
 func GreaterEqual(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "GreaterEqual", fn: tensor.GreaterEqual, flat: tensor.GreaterEqualFlat}, a, b)
+	return g.Add(&binOp{name: "GreaterEqual", fn: tensor.GreaterEqual, flat: tensor.GreaterEqualFlat, flat32: tensor.GreaterEqualFlat32}, a, b)
 }
 
 // LessEqual returns 1 where a<=b else 0 (non-differentiable).
@@ -158,17 +185,17 @@ func LessEqual(g *Graph, a, b *Node) *Node {
 
 // Less returns 1 where a<b else 0 (non-differentiable).
 func Less(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "Less", fn: tensor.Less, flat: tensor.LessFlat}, a, b)
+	return g.Add(&binOp{name: "Less", fn: tensor.Less, flat: tensor.LessFlat, flat32: tensor.LessFlat32}, a, b)
 }
 
 // EqualElems returns 1 where a==b else 0 (non-differentiable).
 func EqualElems(g *Graph, a, b *Node) *Node {
-	return g.Add(&binOp{name: "EqualElems", fn: tensor.EqualElems, flat: tensor.EqualFlat}, a, b)
+	return g.Add(&binOp{name: "EqualElems", fn: tensor.EqualElems, flat: tensor.EqualFlat, flat32: tensor.EqualFlat32}, a, b)
 }
 
 // Neg returns -x.
 func Neg(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Neg", fn: tensor.Neg, flat: tensor.NegFlat,
+	return g.Add(&unOp{name: "Neg", fn: tensor.Neg, flat: tensor.NegFlat, flat32: tensor.NegFlat32,
 		gradFn: func(g *Graph, _ *Node, gy *Node) []*Node {
 			return []*Node{Neg(g, gy)}
 		}}, x)
@@ -176,7 +203,7 @@ func Neg(g *Graph, x *Node) *Node {
 
 // Exp returns e**x.
 func Exp(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Exp", fn: tensor.Exp, flat: tensor.ExpFlat,
+	return g.Add(&unOp{name: "Exp", fn: tensor.Exp, flat: tensor.ExpFlat, flat32: tensor.ExpFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, n)} // d exp = exp(x) = n's output
 		}}, x)
@@ -184,7 +211,7 @@ func Exp(g *Graph, x *Node) *Node {
 
 // Log returns ln(x).
 func Log(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Log", fn: tensor.Log, flat: tensor.LogFlat,
+	return g.Add(&unOp{name: "Log", fn: tensor.Log, flat: tensor.LogFlat, flat32: tensor.LogFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Div(g, gy, n.inputs[0])}
 		}}, x)
@@ -192,7 +219,7 @@ func Log(g *Graph, x *Node) *Node {
 
 // Sqrt returns sqrt(x).
 func Sqrt(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Sqrt", fn: tensor.Sqrt, flat: tensor.SqrtFlat,
+	return g.Add(&unOp{name: "Sqrt", fn: tensor.Sqrt, flat: tensor.SqrtFlat, flat32: tensor.SqrtFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Div(g, gy, Scale(g, n, 2))}
 		}}, x)
@@ -200,7 +227,7 @@ func Sqrt(g *Graph, x *Node) *Node {
 
 // Square returns x*x.
 func Square(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Square", fn: tensor.Square, flat: tensor.SquareFlat,
+	return g.Add(&unOp{name: "Square", fn: tensor.Square, flat: tensor.SquareFlat, flat32: tensor.SquareFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, Scale(g, n.inputs[0], 2))}
 		}}, x)
@@ -208,7 +235,7 @@ func Square(g *Graph, x *Node) *Node {
 
 // Abs returns |x| with subgradient sign(x).
 func Abs(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Abs", fn: tensor.Abs, flat: tensor.AbsFlat,
+	return g.Add(&unOp{name: "Abs", fn: tensor.Abs, flat: tensor.AbsFlat, flat32: tensor.AbsFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, Sign(g, n.inputs[0]))}
 		}}, x)
@@ -224,16 +251,16 @@ func Sign(g *Graph, x *Node) *Node {
 
 // Relu returns max(x,0).
 func Relu(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Relu", fn: tensor.Relu, flat: tensor.ReluFlat,
+	return g.Add(&unOp{name: "Relu", fn: tensor.Relu, flat: tensor.ReluFlat, flat32: tensor.ReluFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
-			mask := g.Add(&unOp{name: "ReluMask", fn: tensor.ReluGrad, flat: tensor.ReluGradFlat}, n.inputs[0])
+			mask := g.Add(&unOp{name: "ReluMask", fn: tensor.ReluGrad, flat: tensor.ReluGradFlat, flat32: tensor.ReluGradFlat32}, n.inputs[0])
 			return []*Node{Mul(g, gy, mask)}
 		}}, x)
 }
 
 // Tanh returns tanh(x).
 func Tanh(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Tanh", fn: tensor.Tanh, flat: tensor.TanhFlat,
+	return g.Add(&unOp{name: "Tanh", fn: tensor.Tanh, flat: tensor.TanhFlat, flat32: tensor.TanhFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, OneMinus(g, Mul(g, n, n)))}
 		}}, x)
@@ -241,7 +268,7 @@ func Tanh(g *Graph, x *Node) *Node {
 
 // Sigmoid returns 1/(1+e^-x).
 func Sigmoid(g *Graph, x *Node) *Node {
-	return g.Add(&unOp{name: "Sigmoid", fn: tensor.Sigmoid, flat: tensor.SigmoidFlat,
+	return g.Add(&unOp{name: "Sigmoid", fn: tensor.Sigmoid, flat: tensor.SigmoidFlat, flat32: tensor.SigmoidFlat32,
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			return []*Node{Mul(g, gy, Mul(g, n, OneMinus(g, n)))}
 		}}, x)
@@ -253,7 +280,8 @@ func OneMinus(g *Graph, x *Node) *Node {
 		fn: func(a *tensor.Tensor) *tensor.Tensor {
 			return tensor.AddScalar(tensor.Neg(a), 1)
 		},
-		flat: tensor.OneMinusFlat,
+		flat:   tensor.OneMinusFlat,
+		flat32: tensor.OneMinusFlat32,
 		gradFn: func(g *Graph, _ *Node, gy *Node) []*Node {
 			return []*Node{Neg(g, gy)}
 		}}, x)
@@ -262,8 +290,9 @@ func OneMinus(g *Graph, x *Node) *Node {
 // Scale returns x*s for a compile-time scalar s.
 func Scale(g *Graph, x *Node, s float64) *Node {
 	return g.Add(&unOp{name: "Scale", sval: s,
-		fn:   func(a *tensor.Tensor) *tensor.Tensor { return tensor.Scale(a, s) },
-		flat: func(dst, a []float64) { tensor.ScaleFlat(dst, a, s) },
+		fn:     func(a *tensor.Tensor) *tensor.Tensor { return tensor.Scale(a, s) },
+		flat:   func(dst, a []float64) { tensor.ScaleFlat(dst, a, s) },
+		flat32: func(dst, a []float32) { tensor.ScaleFlat32(dst, a, float32(s)) },
 		gradFn: func(g *Graph, _ *Node, gy *Node) []*Node {
 			return []*Node{Scale(g, gy, s)}
 		}}, x)
@@ -272,8 +301,9 @@ func Scale(g *Graph, x *Node, s float64) *Node {
 // AddScalar returns x+s for a compile-time scalar s.
 func AddScalar(g *Graph, x *Node, s float64) *Node {
 	return g.Add(&unOp{name: "AddScalar", sval: s,
-		fn:   func(a *tensor.Tensor) *tensor.Tensor { return tensor.AddScalar(a, s) },
-		flat: func(dst, a []float64) { tensor.AddScalarFlat(dst, a, s) },
+		fn:     func(a *tensor.Tensor) *tensor.Tensor { return tensor.AddScalar(a, s) },
+		flat:   func(dst, a []float64) { tensor.AddScalarFlat(dst, a, s) },
+		flat32: func(dst, a []float32) { tensor.AddScalarFlat32(dst, a, float32(s)) },
 		gradFn: func(g *Graph, _ *Node, gy *Node) []*Node {
 			return []*Node{gy}
 		}}, x)
@@ -282,8 +312,9 @@ func AddScalar(g *Graph, x *Node, s float64) *Node {
 // Clip limits x to [lo,hi] with a pass-through subgradient inside the range.
 func Clip(g *Graph, x *Node, lo, hi float64) *Node {
 	return g.Add(&unOp{name: "Clip",
-		fn:   func(a *tensor.Tensor) *tensor.Tensor { return tensor.Clip(a, lo, hi) },
-		flat: func(dst, a []float64) { tensor.ClipFlat(dst, a, lo, hi) },
+		fn:     func(a *tensor.Tensor) *tensor.Tensor { return tensor.Clip(a, lo, hi) },
+		flat:   func(dst, a []float64) { tensor.ClipFlat(dst, a, lo, hi) },
+		flat32: func(dst, a []float32) { tensor.ClipFlat32(dst, a, float32(lo), float32(hi)) },
 		gradFn: func(g *Graph, n *Node, gy *Node) []*Node {
 			inRange := g.Add(&unOp{name: "ClipMask", fn: func(a *tensor.Tensor) *tensor.Tensor {
 				return tensor.Mul(tensor.GreaterEqual(a, tensor.Scalar(lo)),

@@ -16,11 +16,19 @@ func (o *sumOp) Name() string {
 	return "Sum"
 }
 func (o *sumOp) InferShape([][]int) ([]int, error) { return []int{}, nil }
-func (o *sumOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
-	if o.mean {
-		return tensor.Mean(in[0]), nil
+func (o *sumOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	// Same accumulation order and rounding as tensor.Sum/Mean, but into an
+	// arena-backed scalar instead of a fresh heap Scalar per reduction.
+	s := 0.0
+	for _, v := range in[0].Data() {
+		s += v
 	}
-	return tensor.Sum(in[0]), nil
+	if o.mean && in[0].Size() > 0 {
+		s /= float64(in[0].Size())
+	}
+	out := ctx.NewTensor()
+	out.Data()[0] = s
+	return out, nil
 }
 func (o *sumOp) Grad(g *Graph, n *Node, gy *Node) []*Node {
 	x := n.inputs[0]
@@ -114,7 +122,7 @@ type axisReduceGradOp struct {
 
 func (o *axisReduceGradOp) Name() string                         { return "ReduceGrad" }
 func (o *axisReduceGradOp) InferShape(in [][]int) ([]int, error) { return in[1], nil }
-func (o *axisReduceGradOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
+func (o *axisReduceGradOp) Eval(ctx *RunCtx, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	gy, x := in[0], in[1]
 	axis := o.axis
 	if axis < 0 {
@@ -123,7 +131,10 @@ func (o *axisReduceGradOp) Eval(_ *RunCtx, in []*tensor.Tensor) (*tensor.Tensor,
 	if !o.keepDims {
 		gy = tensor.ExpandDims(gy, axis)
 	}
-	out := tensor.Add(tensor.New(x.Shape()...), gy)
+	// Broadcast gy up to x's shape through arena-backed storage: NewTensor
+	// zero-fills, so accumulate-broadcast equals Add(zeros, gy) bit for bit.
+	out := ctx.NewTensor(x.Shape()...)
+	tensor.AddBroadcastInPlace(out, gy)
 	if o.mean {
 		tensor.ScaleInPlace(out, 1/float64(x.Dim(axis)))
 	}

@@ -389,6 +389,8 @@ const (
 	modePlanSerialNoReuse
 	modePlanParallel
 	modePlanParallelNoReuse
+	modePlanLowered         // float32-lowered serial executor
+	modePlanLoweredParallel // float32-lowered parallel executor
 )
 
 func runRandomProgram(seed int64, mode evalMode) ([]*tensor.Tensor, error) {
@@ -475,6 +477,11 @@ func runRandomProgram(seed int64, mode evalMode) ([]*tensor.Tensor, error) {
 	case modePlanParallelNoReuse:
 		sess.SetParallelism(4)
 		sess.SetBufferReuse(false)
+	case modePlanLowered:
+		sess.SetDType(tensor.Float32)
+	case modePlanLoweredParallel:
+		sess.SetParallelism(4)
+		sess.SetDType(tensor.Float32)
 	}
 	return sess.Run(fetches, feeds)
 }

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rlgraph/internal/exec"
+	"rlgraph/internal/tensor"
+)
+
+// TestServeDTypeLowersExecutor proves the serving dtype knob end to end:
+// NewForExecutor with Config.DType == Float32 lowers the static executor's
+// session, responses stay float64 at the API boundary, and the served
+// Q-value rows agree with an identically-seeded float64 service within the
+// documented float32 tolerance (see DESIGN.md §5.12).
+func TestServeDTypeLowersExecutor(t *testing.T) {
+	a64, env := buildServeDQN(t)
+	a32, _ := buildServeDQN(t) // same seed: identical weights
+	obs := gridObservations(env, 8)
+
+	s64 := NewForExecutor(a64.Executor(), "get_q_values", a64.StateSpace(),
+		Config{MaxBatch: 4, FlushLatency: 200 * time.Microsecond})
+	defer func() { _ = s64.Close() }()
+	s32 := NewForExecutor(a32.Executor(), "get_q_values", a32.StateSpace(),
+		Config{MaxBatch: 4, FlushLatency: 200 * time.Microsecond, DType: tensor.Float32})
+	defer func() { _ = s32.Close() }()
+
+	if d := a32.Executor().(*exec.StaticExecutor).DType(); d != tensor.Float32 {
+		t.Fatalf("serving executor dtype %v, want Float32", d)
+	}
+	if d := a64.Executor().(*exec.StaticExecutor).DType(); d != tensor.Float64 {
+		t.Fatalf("float64 executor dtype %v, want Float64", d)
+	}
+
+	const absTol, relTol = 1e-4, 1e-4
+	for i, o := range obs {
+		want, err := s64.Act(o, time.Time{})
+		if err != nil {
+			t.Fatalf("f64 act %d: %v", i, err)
+		}
+		got, err := s32.Act(o, time.Time{})
+		if err != nil {
+			t.Fatalf("f32 act %d: %v", i, err)
+		}
+		if got.Dtype() != tensor.Float64 {
+			t.Fatalf("act %d: lowered service returned dtype %v, want Float64", i, got.Dtype())
+		}
+		if !tensor.SameShape(got.Shape(), want.Shape()) {
+			t.Fatalf("act %d: shape %v vs %v", i, got.Shape(), want.Shape())
+		}
+		for j := range got.Data() {
+			diff := math.Abs(got.Data()[j] - want.Data()[j])
+			if diff > absTol+relTol*math.Abs(want.Data()[j]) {
+				t.Fatalf("act %d elem %d: lowered %g vs f64 %g (|diff|=%g)",
+					i, j, got.Data()[j], want.Data()[j], diff)
+			}
+		}
+	}
+}

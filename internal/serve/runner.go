@@ -41,9 +41,12 @@ func NewForExecutor(e exec.Executor, api string, elem spaces.Space, cfg Config) 
 	if cfg.Elem == nil {
 		cfg.Elem = elem
 	}
-	if cfg.ArenaStats == nil {
-		if se, ok := e.(*exec.StaticExecutor); ok && se.Session() != nil {
+	if se, ok := e.(*exec.StaticExecutor); ok {
+		if cfg.ArenaStats == nil && se.Session() != nil {
 			cfg.ArenaStats = se.Session().ArenaStats
+		}
+		if cfg.DType != tensor.Float64 {
+			se.SetDType(cfg.DType)
 		}
 	}
 	return New(ExecutorRunner(e, api), cfg)

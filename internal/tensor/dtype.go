@@ -1,0 +1,102 @@
+package tensor
+
+import "fmt"
+
+// Dtype selects a tensor's storage arm. Float64 is the default everywhere —
+// agents, optimizers, replay, and the public kernel API all stay float64.
+// Float32 tensors exist only on the lowered execution path (internal/graph
+// plan lowering): weights and feeds are converted once at the plan boundary,
+// the *32 kernel variants run in between at half the memory bandwidth, and
+// fetches are converted back before anyone outside the plan sees them.
+type Dtype uint8
+
+const (
+	// Float64 is the default dense storage.
+	Float64 Dtype = iota
+	// Float32 is the lowered half-bandwidth storage.
+	Float32
+)
+
+// String names the dtype.
+func (d Dtype) String() string {
+	if d == Float32 {
+		return "float32"
+	}
+	return "float64"
+}
+
+// Dtype reports the tensor's storage dtype.
+func (t *Tensor) Dtype() Dtype { return t.dtype }
+
+// Data32 returns the underlying float32 storage. Mutating it mutates the
+// tensor. Panics on a float64 tensor, mirroring Data().
+func (t *Tensor) Data32() []float32 {
+	if t.dtype != Float32 {
+		panic(fmt.Sprintf("tensor: Data32() on float64 tensor %v; use Data() or ToFloat32", t.shape))
+	}
+	return t.data32
+}
+
+// New32 returns a zero-filled float32 tensor with the given shape.
+func New32(shape ...int) *Tensor {
+	n := NumElems(shape)
+	return &Tensor{shape: append([]int(nil), shape...), dtype: Float32, data32: make([]float32, n)}
+}
+
+// FromSlice32 wraps data in a float32 tensor of the given shape. The slice is
+// used directly (not copied).
+func FromSlice32(data []float32, shape ...int) *Tensor {
+	if len(data) != NumElems(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elems)",
+			len(data), shape, NumElems(shape)))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), dtype: Float32, data32: data}
+}
+
+// ToFloat32 returns a freshly allocated float32 copy of t (or a plain clone
+// if t is already float32).
+func ToFloat32(t *Tensor) *Tensor {
+	if t.dtype == Float32 {
+		return t.Clone()
+	}
+	out := New32(t.shape...)
+	for i, v := range t.data {
+		out.data32[i] = float32(v)
+	}
+	return out
+}
+
+// ToFloat64 returns a freshly allocated float64 copy of t (or a plain clone
+// if t is already float64).
+func ToFloat64(t *Tensor) *Tensor {
+	if t.dtype != Float32 {
+		return t.Clone()
+	}
+	out := New(t.shape...)
+	for i, v := range t.data32 {
+		out.data[i] = float64(v)
+	}
+	return out
+}
+
+// ConvertInto copies src's elements into dst, converting between dtypes as
+// needed. dst and src must have equal element counts; dst's shape and dtype
+// are preserved. This is the staging primitive the lowered executor uses to
+// reuse feed/fetch conversion buffers across Run calls.
+func ConvertInto(dst, src *Tensor) {
+	if dst.Size() != src.Size() {
+		panic(fmt.Sprintf("tensor: ConvertInto size mismatch %v vs %v", dst.shape, src.shape))
+	}
+	switch {
+	case dst.dtype == src.dtype:
+		dst.CopyFrom(src)
+	case dst.dtype == Float32:
+		for i, v := range src.data {
+			dst.data32[i] = float32(v)
+		}
+	default:
+		for i, v := range src.data32 {
+			dst.data[i] = float64(v)
+		}
+	}
+}

@@ -85,10 +85,35 @@ func (bi broadcastIndexer) forEach(fn func(outIdx, srcIdx int)) {
 	}
 }
 
+// maxOdoRank bounds the stack-resident odometer used by the broadcast walks
+// below; higher-rank operands fall back to the allocating indexer path.
+const maxOdoRank = 8
+
+// broadcastOdoStrides fills dst (length len(out)) with the per-output-dim
+// flat strides into a tensor of shape src, exactly as newBroadcastIndexer
+// computes them (0 for padded and size-1 dims), without allocating.
+func broadcastOdoStrides(dst []int, src, out []int) {
+	pad := len(out) - len(src)
+	for i := 0; i < pad; i++ {
+		dst[i] = 0
+	}
+	st := 1
+	for i := len(src) - 1; i >= 0; i-- {
+		if src[i] == 1 {
+			dst[pad+i] = 0
+		} else {
+			dst[pad+i] = st
+		}
+		st *= src[i]
+	}
+}
+
 // binary applies fn elementwise with broadcasting. The hot named ops below
 // bypass this for the contiguous same-shape case with flat kernels that pay
 // no per-element closure call; this generic path remains the broadcast
-// reference.
+// reference. The broadcast walk advances both source offsets with a single
+// stack-resident odometer — same element order and arithmetic as the
+// indexer-table formulation it replaced, with no per-call offset tables.
 func binary(a, b *Tensor, fn func(x, y float64) float64) *Tensor {
 	if SameShape(a.shape, b.shape) {
 		out := New(a.shape...)
@@ -102,12 +127,33 @@ func binary(a, b *Tensor, fn func(x, y float64) float64) *Tensor {
 		panic(err)
 	}
 	out := New(shape...)
-	ai := newBroadcastIndexer(a.shape, shape)
-	biB := newBroadcastIndexer(b.shape, shape)
-	// Walk both indexers in lockstep by materializing source offsets.
-	aoff := make([]int, out.Size())
-	ai.forEach(func(o, s int) { aoff[o] = s })
-	biB.forEach(func(o, s int) { out.data[o] = fn(a.data[aoff[o]], b.data[s]) })
+	r := len(shape)
+	if r > maxOdoRank {
+		ai := newBroadcastIndexer(a.shape, shape)
+		biB := newBroadcastIndexer(b.shape, shape)
+		aoff := make([]int, out.Size())
+		ai.forEach(func(o, s int) { aoff[o] = s })
+		biB.forEach(func(o, s int) { out.data[o] = fn(a.data[aoff[o]], b.data[s]) })
+		return out
+	}
+	var as, bs, ix [maxOdoRank]int
+	broadcastOdoStrides(as[:r], a.shape, shape)
+	broadcastOdoStrides(bs[:r], b.shape, shape)
+	ai, bi := 0, 0
+	for o := range out.data {
+		out.data[o] = fn(a.data[ai], b.data[bi])
+		for d := r - 1; d >= 0; d-- {
+			ix[d]++
+			ai += as[d]
+			bi += bs[d]
+			if ix[d] < shape[d] {
+				break
+			}
+			ai -= ix[d] * as[d]
+			bi -= ix[d] * bs[d]
+			ix[d] = 0
+		}
+	}
 	return out
 }
 
@@ -648,6 +694,50 @@ func AddInPlace(dst, src *Tensor) {
 	}
 }
 
+// AddBroadcastInPlace accumulates src into dst, broadcasting src up to dst's
+// shape. Each dst element receives dst[i] += src[bcast(i)], so with dst
+// zero-filled the result matches Add(zeros(dstShape), src) exactly (including
+// the +0 result of 0 + (-0)). src must be broadcast-compatible with dst and
+// must not exceed it in any dimension.
+func AddBroadcastInPlace(dst, src *Tensor) {
+	if SameShape(dst.shape, src.shape) {
+		AddInPlace(dst, src)
+		return
+	}
+	pad := len(dst.shape) - len(src.shape)
+	if pad < 0 {
+		panic(fmt.Sprintf("tensor: AddBroadcastInPlace src %v exceeds dst %v", src.shape, dst.shape))
+	}
+	for i, d := range src.shape {
+		if d != 1 && d != dst.shape[pad+i] {
+			panic(fmt.Sprintf("tensor: AddBroadcastInPlace src %v incompatible with dst %v", src.shape, dst.shape))
+		}
+	}
+	r := len(dst.shape)
+	if r > maxOdoRank {
+		bi := newBroadcastIndexer(src.shape, dst.shape)
+		bi.forEach(func(dstIdx, srcIdx int) {
+			dst.data[dstIdx] += src.data[srcIdx]
+		})
+		return
+	}
+	var ss, ix [maxOdoRank]int
+	broadcastOdoStrides(ss[:r], src.shape, dst.shape)
+	si := 0
+	for d := range dst.data {
+		dst.data[d] += src.data[si]
+		for k := r - 1; k >= 0; k-- {
+			ix[k]++
+			si += ss[k]
+			if ix[k] < dst.shape[k] {
+				break
+			}
+			si -= ix[k] * ss[k]
+			ix[k] = 0
+		}
+	}
+}
+
 // ScaleInPlace multiplies every element of dst by s.
 func ScaleInPlace(dst *Tensor, s float64) {
 	for i := range dst.data {
@@ -669,10 +759,40 @@ func UnbroadcastTo(grad *Tensor, target []int) *Tensor {
 	if SameShape(grad.shape, target) {
 		return grad.Clone()
 	}
-	out := New(target...)
-	bi := newBroadcastIndexer(target, grad.shape)
-	bi.forEach(func(gradIdx, srcIdx int) {
-		out.data[srcIdx] += grad.data[gradIdx]
-	})
+	return UnbroadcastInto(New(target...), grad)
+}
+
+// UnbroadcastInto accumulates grad into out, summing the dimensions along
+// which out's shape was broadcast to produce grad's. out must be zero-filled
+// (or hold a partial sum to accumulate onto) and broadcast-compatible with
+// grad. It is the allocation-free core of UnbroadcastTo, for callers that
+// provide arena-backed output storage.
+func UnbroadcastInto(out, grad *Tensor) *Tensor {
+	target := out.shape
+	r := len(grad.shape)
+	if r > maxOdoRank {
+		bi := newBroadcastIndexer(target, grad.shape)
+		bi.forEach(func(gradIdx, srcIdx int) {
+			out.data[srcIdx] += grad.data[gradIdx]
+		})
+		return out
+	}
+	// Same grad-row-major accumulation order as the indexer formulation,
+	// via the stack odometer.
+	var ts, ix [maxOdoRank]int
+	broadcastOdoStrides(ts[:r], target, grad.shape)
+	si := 0
+	for g := range grad.data {
+		out.data[si] += grad.data[g]
+		for d := r - 1; d >= 0; d-- {
+			ix[d]++
+			si += ts[d]
+			if ix[d] < grad.shape[d] {
+				break
+			}
+			si -= ix[d] * ts[d]
+			ix[d] = 0
+		}
+	}
 	return out
 }

@@ -1,0 +1,257 @@
+package tensor
+
+import "fmt"
+
+// Float32 matrix multiplication — the lowered-path twin of matmul.go.
+//
+// The kernel structure mirrors the float64 one exactly: the same kBlock
+// k-panels, the same 4-row × 4-k register tile, the same strictly
+// ascending-k accumulation order, and the same row-partitioned fan-out over
+// the kernel pool. Only the element type changes, which halves the bytes
+// every panel moves — the point of the lowered path on memory-bandwidth-
+// bound hardware. MatMulNaive32 is the serial arithmetic reference the
+// blocked kernel is tested bit-for-bit (as float32) against.
+
+// matMulDims32 validates rank-2 float32 operands for an [m,k]x[k,n] product.
+func matMulDims32(name string, a, b *Tensor, ka, kb int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s wants rank-2 operands, got %v x %v", name, a.shape, b.shape))
+	}
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: %s inner dims differ: %v x %v", name, a.shape, b.shape))
+	}
+	if a.dtype != Float32 || b.dtype != Float32 {
+		panic(fmt.Sprintf("tensor: %s wants float32 operands, got %v x %v", name, a.dtype, b.dtype))
+	}
+}
+
+// MatMul32 multiplies two rank-2 float32 tensors: [m,k] x [k,n] -> [m,n].
+func MatMul32(a, b *Tensor) *Tensor {
+	matMulDims32("MatMul32", a, b, a.shape[1], b.shape[0])
+	out := New32(a.shape[0], b.shape[1])
+	matMulCore32(a.data32, b.data32, out.data32, a.shape[0], a.shape[1], b.shape[1])
+	return out
+}
+
+// MatMul32Into computes a x b into out, which must be a zero-filled float32
+// [m,n] tensor. It returns out.
+func MatMul32Into(out, a, b *Tensor) *Tensor {
+	matMulDims32("MatMul32", a, b, a.shape[1], b.shape[0])
+	m, n := a.shape[0], b.shape[1]
+	if out.Rank() != 2 || out.shape[0] != m || out.shape[1] != n || out.dtype != Float32 {
+		panic(fmt.Sprintf("tensor: MatMul32Into out shape %v dtype %v, want float32 [%d %d]", out.shape, out.dtype, m, n))
+	}
+	matMulCore32(a.data32, b.data32, out.data32, m, a.shape[1], n)
+	return out
+}
+
+// MatMulTransB32 computes a x bᵀ for a:[m,k], b:[n,k] -> [m,n], transposing
+// b into pooled float32 scratch like the float64 kernel.
+func MatMulTransB32(a, b *Tensor) *Tensor {
+	matMulDims32("MatMulTransB32", a, b, a.shape[1], b.shape[1])
+	return matMulTransB32Into(New32(a.shape[0], b.shape[0]), a, b)
+}
+
+// MatMulTransB32Into computes a x bᵀ into zero-filled float32 out.
+func MatMulTransB32Into(out, a, b *Tensor) *Tensor {
+	matMulDims32("MatMulTransB32", a, b, a.shape[1], b.shape[1])
+	m, n := a.shape[0], b.shape[0]
+	if out.Rank() != 2 || out.shape[0] != m || out.shape[1] != n || out.dtype != Float32 {
+		panic(fmt.Sprintf("tensor: MatMulTransB32Into out shape %v dtype %v, want float32 [%d %d]", out.shape, out.dtype, m, n))
+	}
+	return matMulTransB32Into(out, a, b)
+}
+
+func matMulTransB32Into(out, a, b *Tensor) *Tensor {
+	n, k := b.shape[0], b.shape[1]
+	bt := getScratch32(k * n)
+	transposeInto32(bt.data32, b.data32, n, k)
+	matMulCore32(a.data32, bt.data32, out.data32, a.shape[0], k, n)
+	putScratch(bt)
+	return out
+}
+
+// MatMulTransA32 computes aᵀ x b for a:[k,m], b:[k,n] -> [m,n].
+func MatMulTransA32(a, b *Tensor) *Tensor {
+	matMulDims32("MatMulTransA32", a, b, a.shape[0], b.shape[0])
+	return matMulTransA32Into(New32(a.shape[1], b.shape[1]), a, b)
+}
+
+// MatMulTransA32Into computes aᵀ x b into zero-filled float32 out.
+func MatMulTransA32Into(out, a, b *Tensor) *Tensor {
+	matMulDims32("MatMulTransA32", a, b, a.shape[0], b.shape[0])
+	m, n := a.shape[1], b.shape[1]
+	if out.Rank() != 2 || out.shape[0] != m || out.shape[1] != n || out.dtype != Float32 {
+		panic(fmt.Sprintf("tensor: MatMulTransA32Into out shape %v dtype %v, want float32 [%d %d]", out.shape, out.dtype, m, n))
+	}
+	return matMulTransA32Into(out, a, b)
+}
+
+func matMulTransA32Into(out, a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	at := getScratch32(m * k)
+	transposeInto32(at.data32, a.data32, k, m)
+	matMulCore32(at.data32, b.data32, out.data32, m, k, b.shape[1])
+	putScratch(at)
+	return out
+}
+
+// transposeInto32 writes the [rows,cols] float32 matrix src into dst as
+// [cols,rows], 32x32-tiled like transposeInto.
+func transposeInto32(dst, src []float32, rows, cols int) {
+	const tile = 32
+	for i0 := 0; i0 < rows; i0 += tile {
+		i1 := i0 + tile
+		if i1 > rows {
+			i1 = rows
+		}
+		for j0 := 0; j0 < cols; j0 += tile {
+			j1 := j0 + tile
+			if j1 > cols {
+				j1 = cols
+			}
+			for i := i0; i < i1; i++ {
+				row := src[i*cols : i*cols+cols]
+				for j := j0; j < j1; j++ {
+					dst[j*rows+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
+// matMulCore32 accumulates ad([m,k]) x bd([k,n]) into od([m,n]), partitioning
+// output rows across the kernel pool when the product is large enough.
+func matMulCore32(ad, bd, od []float32, m, k, n int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	parts := matmulParts(m, k, n)
+	if parts <= 1 {
+		matMulRows32(ad, bd, od, 0, m, k, n)
+		return
+	}
+	parallelFor(parts, func(p int) {
+		matMulRows32(ad, bd, od, m*p/parts, m*(p+1)/parts, k, n)
+	})
+}
+
+// matMulRows32 computes output rows [i0,i1) of ad x bd — the float32 twin of
+// matMulRows, with identical panel/tile structure and k-ordering.
+func matMulRows32(ad, bd, od []float32, i0, i1, k, n int) {
+	for kb := 0; kb < k; kb += kBlock {
+		ke := kb + kBlock
+		if ke > k {
+			ke = k
+		}
+		i := i0
+		for ; i+4 <= i1; i += 4 {
+			a0 := ad[(i+0)*k : (i+0)*k+k]
+			a1 := ad[(i+1)*k : (i+1)*k+k]
+			a2 := ad[(i+2)*k : (i+2)*k+k]
+			a3 := ad[(i+3)*k : (i+3)*k+k]
+			o0 := od[(i+0)*n : (i+0)*n+n]
+			o1 := od[(i+1)*n : (i+1)*n+n]
+			o2 := od[(i+2)*n : (i+2)*n+n]
+			o3 := od[(i+3)*n : (i+3)*n+n]
+			kk := kb
+			for ; kk+4 <= ke; kk += 4 {
+				b0 := bd[(kk+0)*n : (kk+0)*n+n]
+				b1 := bd[(kk+1)*n : (kk+1)*n+n]
+				b2 := bd[(kk+2)*n : (kk+2)*n+n]
+				b3 := bd[(kk+3)*n : (kk+3)*n+n]
+				a00, a01, a02, a03 := a0[kk], a0[kk+1], a0[kk+2], a0[kk+3]
+				a10, a11, a12, a13 := a1[kk], a1[kk+1], a1[kk+2], a1[kk+3]
+				a20, a21, a22, a23 := a2[kk], a2[kk+1], a2[kk+2], a2[kk+3]
+				a30, a31, a32, a33 := a3[kk], a3[kk+1], a3[kk+2], a3[kk+3]
+				for j := 0; j < n; j++ {
+					bv0, bv1, bv2, bv3 := b0[j], b1[j], b2[j], b3[j]
+					s := o0[j]
+					s += a00 * bv0
+					s += a01 * bv1
+					s += a02 * bv2
+					s += a03 * bv3
+					o0[j] = s
+					s = o1[j]
+					s += a10 * bv0
+					s += a11 * bv1
+					s += a12 * bv2
+					s += a13 * bv3
+					o1[j] = s
+					s = o2[j]
+					s += a20 * bv0
+					s += a21 * bv1
+					s += a22 * bv2
+					s += a23 * bv3
+					o2[j] = s
+					s = o3[j]
+					s += a30 * bv0
+					s += a31 * bv1
+					s += a32 * bv2
+					s += a33 * bv3
+					o3[j] = s
+				}
+			}
+			for ; kk < ke; kk++ {
+				brow := bd[kk*n : kk*n+n]
+				av0, av1, av2, av3 := a0[kk], a1[kk], a2[kk], a3[kk]
+				for j := 0; j < n; j++ {
+					bv := brow[j]
+					o0[j] += av0 * bv
+					o1[j] += av1 * bv
+					o2[j] += av2 * bv
+					o3[j] += av3 * bv
+				}
+			}
+		}
+		for ; i < i1; i++ {
+			arow := ad[i*k : i*k+k]
+			orow := od[i*n : i*n+n]
+			kk := kb
+			for ; kk+4 <= ke; kk += 4 {
+				b0 := bd[(kk+0)*n : (kk+0)*n+n]
+				b1 := bd[(kk+1)*n : (kk+1)*n+n]
+				b2 := bd[(kk+2)*n : (kk+2)*n+n]
+				b3 := bd[(kk+3)*n : (kk+3)*n+n]
+				av0, av1, av2, av3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+				for j := 0; j < n; j++ {
+					s := orow[j]
+					s += av0 * b0[j]
+					s += av1 * b1[j]
+					s += av2 * b2[j]
+					s += av3 * b3[j]
+					orow[j] = s
+				}
+			}
+			for ; kk < ke; kk++ {
+				brow := bd[kk*n : kk*n+n]
+				av := arow[kk]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// MatMulNaive32 is the float32 i-k-j triple loop — the arithmetic reference
+// the blocked float32 kernel is tested bit-for-bit against.
+func MatMulNaive32(a, b *Tensor) *Tensor {
+	matMulDims32("MatMulNaive32", a, b, a.shape[1], b.shape[0])
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out := New32(m, n)
+	ad, bd, od := a.data32, b.data32, out.data32
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			brow := bd[kk*n : (kk+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}

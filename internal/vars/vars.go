@@ -42,6 +42,22 @@ func (v *Variable) Set(t *tensor.Tensor) {
 	v.Val = t.Clone()
 }
 
+// SetOwned installs t as the variable's value without copying, transferring
+// ownership to the variable. The caller must guarantee t is freshly computed
+// and not aliased by any other variable or by caller-held mutable state —
+// after the call, t belongs to the variable and may be mutated in place by
+// accumulating updates (AddTo). Readers of the previous value keep their
+// (now detached) tensor. Used by the static backend's assign lowering when
+// the assigned value comes from a value-semantics producer; everything else
+// should use Set.
+func (v *Variable) SetOwned(t *tensor.Tensor) {
+	if v.Val != nil && !tensor.SameShape(v.Val.Shape(), t.Shape()) {
+		panic(fmt.Sprintf("vars: assigning shape %v to variable %q of shape %v",
+			t.Shape(), v.Name, v.Val.Shape()))
+	}
+	v.Val = t
+}
+
 // Store is an ordered collection of variables, keyed by name. It backs
 // get_weights/set_weights/import_model/export_model on the agent API.
 type Store struct {
