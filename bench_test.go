@@ -212,6 +212,21 @@ func BenchmarkKernelMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkEnvThroughput smoke-tests the vectorized env-stepping sweep:
+// sequential vs sharded parallel StepAll and the render-alloc comparison.
+func BenchmarkEnvThroughput(b *testing.B) {
+	s := benchkit.QuickScale()
+	for i := 0; i < b.N; i++ {
+		rep, err := benchkit.EnvBench(s.EnvBenchCounts, s.EnvBenchPars, s.EnvBenchSteps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rep.Points[len(rep.Points)-1]
+		b.ReportMetric(last.FPS, "fps_last")
+		b.ReportMetric(rep.RenderAllocs.NaivePerStep-rep.RenderAllocs.FlatPerStep, "allocs_saved")
+	}
+}
+
 // BenchmarkAblationSessionBatching isolates the cost of splitting an update
 // into multiple executor calls versus the single batched call RLgraph emits.
 func BenchmarkAblationSessionBatching(b *testing.B) {

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, serve, fleet, live, dtype, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, serve, fleet, live, dtype, env, all")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	flag.Parse()
 
@@ -32,10 +32,10 @@ func main() {
 	runners := map[string]func(benchkit.Scale) error{
 		"5a": fig5a, "5b": fig5b, "6": fig6, "7a": fig7a, "7b": fig7b, "8": fig8, "9": fig9,
 		"chaos": chaos, "plan": figPlan, "kernels": figKernels, "conv": figConv, "serve": figServe,
-		"fleet": figFleet, "live": figLive, "dtype": figDtype,
+		"fleet": figFleet, "live": figLive, "dtype": figDtype, "env": figEnv,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv", "serve", "fleet", "live", "dtype"} {
+		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv", "serve", "fleet", "live", "dtype", "env"} {
 			if err := runners[k](scale); err != nil {
 				log.Fatalf("figure %s: %v", k, err)
 			}
@@ -376,8 +376,8 @@ func figConv(s benchkit.Scale) error {
 
 // figServe measures closed-loop inference serving with and without the
 // serve package's dynamic micro-batching on the same static DQN, recording
-// throughput, latency quantiles, and the >= 2x batched-throughput gate in
-// BENCH_serve.json. The cmd/rlgraph-serve driver exposes the same workload
+// throughput, latency quantiles, and the batched-throughput gate
+// (benchkit.ServeGateThreshold) in BENCH_serve.json. The cmd/rlgraph-serve driver exposes the same workload
 // with tunable knobs.
 func figServe(s benchkit.Scale) error {
 	header("Serving — micro-batched vs unbatched closed-loop inference")
@@ -555,6 +555,34 @@ func figDtype(s benchkit.Scale) error {
 		fmt.Printf("acceptance: %s: %.2f (threshold %.2f): %v\n", g.Benchmark, g.Value, g.Threshold, g.Pass)
 	}
 	fmt.Println("wrote BENCH_dtype.json")
+	return nil
+}
+
+// figEnv measures vectorized env-stepping throughput: K PongSim copies
+// (feature and pixel mode) stepped with random actions, sequential vs
+// sharded parallel stepping, plus the pixel render-alloc comparison against
+// the seed-era renderer. The acceptance gate is gomaxprocs-conditional:
+// >= 2x frames/sec at P=4 on the largest pixel sweep with >= 4 cores, else
+// render allocs/step at most half the seed renderer's. Results land in
+// BENCH_env.json.
+func figEnv(s benchkit.Scale) error {
+	header("Env throughput — parallel vectorized stepping vs sequential (frames/s)")
+	rep, err := benchkit.EnvBench(s.EnvBenchCounts, s.EnvBenchPars, s.EnvBenchSteps)
+	if err != nil {
+		return err
+	}
+	for _, pt := range rep.Points {
+		fmt.Printf("mode=%-10s envs=%-4d par=%-2d fps=%-12.0f speedup=%.2f\n",
+			pt.Mode, pt.Envs, pt.Par, pt.FPS, pt.Speedup)
+	}
+	fmt.Printf("render allocs/step: naive=%.1f flat=%.1f\n",
+		rep.RenderAllocs.NaivePerStep, rep.RenderAllocs.FlatPerStep)
+	gate, err := benchkit.WriteEnvJSON(rep, "BENCH_env.json")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("acceptance: %s [%s]: %.2f (threshold %.2f): %v (wrote BENCH_env.json)\n",
+		gate.Benchmark, gate.Mode, gate.Value, gate.Threshold, gate.Pass)
 	return nil
 }
 

@@ -120,7 +120,9 @@ func defaultConfig() []byte {
 }
 
 func train(agent agents.Agent, env envs.Env, steps int) error {
-	obs := env.Reset()
+	// Observations are borrowed (envs may reuse their obs buffers across
+	// Step/Reset), so anything retained across the next Step is cloned.
+	obs := env.Reset().Clone()
 	episodeReward, episodes := 0.0, 0
 	recent := make([]float64, 0, 16)
 
@@ -132,6 +134,7 @@ func train(agent agents.Agent, env envs.Env, steps int) error {
 		}
 		action := int(at.Data()[0])
 		next, r, done := env.Step(action)
+		next = next.Clone()
 		episodeReward += r
 		term := 0.0
 		if done {
@@ -152,7 +155,7 @@ func train(agent agents.Agent, env envs.Env, steps int) error {
 				recent = recent[1:]
 			}
 			episodeReward = 0
-			obs = env.Reset()
+			obs = env.Reset().Clone()
 		}
 		if step > 200 && step%4 == 0 {
 			if _, err := agent.Update(); err != nil {

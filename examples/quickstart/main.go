@@ -44,7 +44,9 @@ func main() {
 	fmt.Println("build:", report)
 
 	// Train: act → observe → update.
-	obs := env.Reset()
+	// Observations are borrowed (envs may reuse their obs buffers), so
+	// anything retained across the next Step is cloned.
+	obs := env.Reset().Clone()
 	episodeReward, episodes := 0.0, 0
 	for step := 0; step < 6000; step++ {
 		st := obs.Reshape(1, obs.Size())
@@ -54,6 +56,7 @@ func main() {
 		}
 		action := int(at.Data()[0])
 		next, r, done := env.Step(action)
+		next = next.Clone()
 		episodeReward += r
 		term := 0.0
 		if done {
@@ -73,7 +76,7 @@ func main() {
 				fmt.Printf("episode %3d  reward %.0f\n", episodes, episodeReward)
 			}
 			episodeReward = 0
-			obs = env.Reset()
+			obs = env.Reset().Clone()
 		}
 		if step > 500 && step%2 == 0 {
 			if _, err := agent.Update(); err != nil {

@@ -100,6 +100,12 @@ type Scale struct {
 	LiveReplicas     int
 	LiveClients      int
 	LivePublishEvery int
+	// EnvBenchCounts/EnvBenchPars/EnvBenchSteps configure the vectorized
+	// env-stepping benchmark (env counts, shard counts including the
+	// sequential baseline 1, and timed StepAll iterations per point).
+	EnvBenchCounts []int
+	EnvBenchPars   []int
+	EnvBenchSteps  int
 }
 
 // LaptopScale is the default scaled-down experiment preset.
@@ -141,6 +147,9 @@ func LaptopScale() Scale {
 		LiveReplicas:      3,
 		LiveClients:       3,
 		LivePublishEvery:  25,
+		EnvBenchCounts:    []int{32, 256},
+		EnvBenchPars:      []int{1, 2, 4, 8},
+		EnvBenchSteps:     300,
 	}
 }
 
@@ -179,6 +188,9 @@ func QuickScale() Scale {
 	s.LiveReplicas = 2
 	s.LiveClients = 2
 	s.LivePublishEvery = 10
+	s.EnvBenchCounts = []int{8, 32}
+	s.EnvBenchPars = []int{1, 2, 4}
+	s.EnvBenchSteps = 40
 	return s
 }
 

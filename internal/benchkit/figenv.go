@@ -1,0 +1,238 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"rlgraph/internal/envs"
+)
+
+// EnvPoint is one vectorized-stepping throughput measurement: K PongSim
+// copies stepped with P shard goroutines (P=1 = sequential) under random
+// actions — pure sampling-side cost, no agent in the loop.
+type EnvPoint struct {
+	// Mode is "features" (6-value observation) or "pixels" (84×84 frame).
+	Mode string `json:"mode"`
+	Envs int    `json:"envs"`
+	Par  int    `json:"parallelism"`
+	// FPS is environment frames per second including frame-skip.
+	FPS float64 `json:"frames_per_sec"`
+	// Speedup is FPS over the sequential (P=1) point of the same mode and
+	// env count.
+	Speedup float64 `json:"speedup_vs_seq"`
+}
+
+// EnvRenderAllocs compares pixel-mode per-step heap allocations of the
+// seed-era renderer (fresh 84×84 tensor per frame, PongSim.RenderNaive)
+// against the flat in-place renderer the hot path now uses.
+type EnvRenderAllocs struct {
+	NaivePerStep float64 `json:"naive_allocs_per_step"`
+	FlatPerStep  float64 `json:"flat_allocs_per_step"`
+}
+
+// EnvBenchReport is the BENCH_env.json payload (minus header and acceptance
+// block).
+type EnvBenchReport struct {
+	Workload     string          `json:"workload"`
+	FrameSkip    int             `json:"frame_skip"`
+	Steps        int             `json:"steps_per_point"`
+	Points       []EnvPoint      `json:"points"`
+	RenderAllocs EnvRenderAllocs `json:"render_allocs"`
+}
+
+func envBenchVector(mode string, k int) *envs.VectorEnv {
+	obs := envs.PongFeatures
+	if mode == "pixels" {
+		obs = envs.PongPixels
+	}
+	es := make([]envs.Env, k)
+	for i := range es {
+		es[i] = envs.NewPongSim(envs.PongConfig{
+			Obs: obs, FrameSkip: 4, Seed: int64(i + 1),
+			OpponentSkill: envs.DefaultPongOpponent,
+		})
+	}
+	return envs.NewVectorEnv(es...)
+}
+
+// envBenchPoint times steps random-action StepAll iterations at the given
+// parallelism and returns frames per second.
+func envBenchPoint(mode string, k, par, steps int) float64 {
+	vec := envBenchVector(mode, k)
+	vec.SetParallelism(par)
+	defer vec.Close()
+	rng := rand.New(rand.NewSource(7))
+	acts := make([]int, k)
+	vec.ResetAll()
+	step := func() {
+		for i := range acts {
+			acts[i] = rng.Intn(3)
+		}
+		vec.StepAll(acts)
+	}
+	for s := 0; s < 3; s++ { // warm-up: fault in output buffers and frames
+		step()
+	}
+	start := time.Now()
+	for s := 0; s < steps; s++ {
+		step()
+	}
+	return float64(steps*k*4) / time.Since(start).Seconds()
+}
+
+// mallocsPerStep measures heap allocations per iteration of fn via the
+// runtime's malloc counter (usable outside testing binaries, unlike
+// testing.AllocsPerRun).
+func mallocsPerStep(iters int, fn func()) float64 {
+	fn() // warm-up
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters)
+}
+
+// EnvBench sweeps vectorized env-stepping throughput over env counts ×
+// shard counts for both observation modes, plus the pixel render-alloc
+// comparison. Parallelism values exceeding the env count are skipped (the
+// shards would clamp to fewer than requested and duplicate a lower point).
+func EnvBench(envCounts, parallelisms []int, steps int) (*EnvBenchReport, error) {
+	rep := &EnvBenchReport{
+		Workload:  "pongsim random-action StepAll (no agent)",
+		FrameSkip: 4,
+		Steps:     steps,
+	}
+	for _, mode := range []string{"features", "pixels"} {
+		for _, k := range envCounts {
+			seqFPS := 0.0
+			for _, p := range parallelisms {
+				if p > k {
+					continue
+				}
+				fps := envBenchPoint(mode, k, p, steps)
+				pt := EnvPoint{Mode: mode, Envs: k, Par: p, FPS: fps}
+				if p == 1 {
+					seqFPS = fps
+				} else if seqFPS > 0 {
+					pt.Speedup = fps / seqFPS
+				}
+				rep.Points = append(rep.Points, pt)
+			}
+		}
+	}
+
+	// Render-alloc comparison: the flat renderer steps allocation-free after
+	// warm-up; the naive baseline allocates a fresh frame tensor per render
+	// exactly as the seed code did.
+	flatEnv := envs.NewPongSim(envs.PongConfig{
+		Obs: envs.PongPixels, FrameSkip: 4, Seed: 1, OpponentSkill: envs.DefaultPongOpponent})
+	flatEnv.Reset()
+	rng := rand.New(rand.NewSource(5))
+	rep.RenderAllocs.FlatPerStep = mallocsPerStep(400, func() { flatEnv.Step(rng.Intn(3)) })
+	naiveEnv := envs.NewPongSim(envs.PongConfig{
+		Obs: envs.PongPixels, FrameSkip: 4, Seed: 1, OpponentSkill: envs.DefaultPongOpponent})
+	naiveEnv.Reset()
+	rep.RenderAllocs.NaivePerStep = mallocsPerStep(400, func() {
+		naiveEnv.Step(rng.Intn(3))
+		naiveEnv.RenderNaive()
+	})
+	return rep, nil
+}
+
+// EnvGate is the acceptance record embedded in BENCH_env.json. With >= 4
+// CPUs the gate is throughput: parallel stepping must reach >= 2x
+// sequential frames/sec at P=4 on the largest pixel-mode env count. On
+// smaller machines parallel speedup is physically unavailable, so the gate
+// falls back to the hot-path win that doesn't need cores: pixel-mode render
+// allocations per step at most half the seed-era renderer's.
+type EnvGate struct {
+	Benchmark  string  `json:"benchmark"`
+	Gomaxprocs int     `json:"gomaxprocs"`
+	Mode       string  `json:"mode"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Threshold  float64 `json:"threshold"`
+	Pass       bool    `json:"pass"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// EnvGateSpeedup is the parallel-stepping acceptance bar on >= 4 CPUs.
+const EnvGateSpeedup = 2.0
+
+// EnvAcceptance evaluates the gomaxprocs-conditional gate for a report.
+func EnvAcceptance(rep *EnvBenchReport) EnvGate {
+	procs := runtime.GOMAXPROCS(0)
+	if procs >= 4 {
+		g := EnvGate{
+			Benchmark:  "parallel vectorized env stepping",
+			Gomaxprocs: procs,
+			Mode:       "throughput",
+			Metric:     "pixel-mode frames/sec speedup at P=4, largest env count",
+			Threshold:  EnvGateSpeedup,
+		}
+		best := EnvPoint{}
+		for _, pt := range rep.Points {
+			if pt.Mode == "pixels" && pt.Par == 4 && pt.Envs >= best.Envs {
+				best = pt
+			}
+		}
+		if best.Envs == 0 {
+			g.Note = "no pixel-mode P=4 point measured"
+			return g
+		}
+		g.Value = best.Speedup
+		g.Pass = best.Speedup >= EnvGateSpeedup
+		g.Note = fmt.Sprintf("envs=%d", best.Envs)
+		return g
+	}
+	g := EnvGate{
+		Benchmark:  "parallel vectorized env stepping",
+		Gomaxprocs: procs,
+		Mode:       "render-allocs",
+		Metric:     "pixel-mode allocs/step, flat vs seed renderer",
+		Value:      rep.RenderAllocs.FlatPerStep,
+		Threshold:  rep.RenderAllocs.NaivePerStep / 2,
+		Note: fmt.Sprintf("< 4 CPUs: parallel speedup unavailable, gating the render "+
+			"hot path instead (seed %.1f allocs/step)", rep.RenderAllocs.NaivePerStep),
+	}
+	g.Pass = rep.RenderAllocs.NaivePerStep > 0 &&
+		rep.RenderAllocs.FlatPerStep <= rep.RenderAllocs.NaivePerStep/2
+	return g
+}
+
+// WriteEnvJSON writes the report (with header and acceptance gate) to path.
+func WriteEnvJSON(rep *EnvBenchReport, path string) (EnvGate, error) {
+	report := struct {
+		Header BenchHeader `json:"header"`
+		*EnvBenchReport
+		Acceptance EnvGate `json:"acceptance"`
+	}{Header: NewBenchHeader(), EnvBenchReport: rep, Acceptance: EnvAcceptance(rep)}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return report.Acceptance, err
+	}
+	return report.Acceptance, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// EnvRows renders the report as printable series rows.
+func EnvRows(rep *EnvBenchReport) []Row {
+	rows := make([]Row, 0, len(rep.Points))
+	for _, pt := range rep.Points {
+		rows = append(rows, Row{
+			Labels: map[string]string{"mode": pt.Mode},
+			Values: map[string]float64{
+				"envs":    float64(pt.Envs),
+				"par":     float64(pt.Par),
+				"fps":     pt.FPS,
+				"speedup": pt.Speedup,
+			},
+		})
+	}
+	return rows
+}

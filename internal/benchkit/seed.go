@@ -13,19 +13,22 @@ import (
 // memories and ablation inputs).
 func sampleBatchFromEnv(env envs.Env, n int) *execution.Batch {
 	rng := rand.New(rand.NewSource(1))
-	obs := env.Reset()
+	// Observations are borrowed (envs may reuse their obs buffers), and this
+	// loop retains them across many Steps before stacking — clone each one.
+	obs := env.Reset().Clone()
 	var ss, nss []*tensor.Tensor
 	var as, rs, ts []float64
 	for i := 0; i < n; i++ {
 		a := rng.Intn(env.ActionSpace().N)
 		next, r, done := env.Step(a)
+		next = next.Clone()
 		ss = append(ss, obs)
 		as = append(as, float64(a))
 		rs = append(rs, r)
 		nss = append(nss, next)
 		if done {
 			ts = append(ts, 1)
-			next = env.Reset()
+			next = env.Reset().Clone()
 		} else {
 			ts = append(ts, 0)
 		}

@@ -204,13 +204,16 @@ func (e *IMPALAExecutor) collectRollout(a *agents.IMPALA, env envs.Env, state *t
 		}
 		action := int(acts.Data()[0])
 		next, r, done := env.Step(action)
+		// Observations are borrowed (envs may reuse their obs buffers), and
+		// the rollout retains them across subsequent Steps — clone each one.
+		next = next.Clone()
 		states = append(states, cur)
 		actions[t] = float64(action)
 		rewards[t] = r
 		logps[t] = logp.Data()[0]
 		if done {
 			discounts[t] = 0
-			next = env.Reset()
+			next = env.Reset().Clone()
 		} else {
 			discounts[t] = gamma
 		}
@@ -311,7 +314,7 @@ func (e *IMPALAExecutor) superviseActor(i int, st *impalaActorState, restarts *i
 		}
 		atomic.AddInt64(&e.restarts, 1)
 		st.a, st.env = na, nenv
-		st.state = st.env.Reset()
+		st.state = st.env.Reset().Clone()
 		st.n = 1 // weights just synced; skip the immediate re-sync
 		return true
 	}
@@ -349,7 +352,7 @@ func (e *IMPALAExecutor) Run(duration time.Duration) (*IMPALAResult, error) {
 		go func(i int) {
 			defer wg.Done()
 			st := &impalaActorState{a: e.actors[i], env: e.envsL[i]}
-			st.state = st.env.Reset()
+			st.state = st.env.Reset().Clone()
 			restarts := 0
 			backoff := e.cfg.RestartBackoff
 			for {

@@ -1,0 +1,305 @@
+package envs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rlgraph/internal/spaces"
+	"rlgraph/internal/tensor"
+)
+
+// envFamilies builds twin env vectors (identical seeds/configs) so a
+// sequential and a parallel VectorEnv can be stepped in lockstep.
+func envFamilies(k int) map[string]func() []Env {
+	return map[string]func() []Env{
+		"cartpole": func() []Env {
+			out := make([]Env, k)
+			for i := range out {
+				out[i] = NewCartPole(int64(100 + i))
+			}
+			return out
+		},
+		"gridworld": func() []Env {
+			out := make([]Env, k)
+			for i := range out {
+				out[i] = NewGridWorld(4, int64(100+i))
+			}
+			return out
+		},
+		"pong-features": func() []Env {
+			out := make([]Env, k)
+			for i := range out {
+				out[i] = NewPongSim(PongConfig{Obs: PongFeatures, FrameSkip: 2,
+					PointsToWin: 2, OpponentSkill: DefaultPongOpponent, Seed: int64(100 + i)})
+			}
+			return out
+		},
+		"pong-pixels": func() []Env {
+			out := make([]Env, k)
+			for i := range out {
+				out[i] = NewPongSim(PongConfig{Obs: PongPixels, FrameSkip: 2,
+					PointsToWin: 2, OpponentSkill: DefaultPongOpponent, Seed: int64(100 + i)})
+			}
+			return out
+		},
+		"framestack-pong": func() []Env {
+			out := make([]Env, k)
+			for i := range out {
+				out[i] = NewFrameStack(NewPongSim(PongConfig{Obs: PongFeatures, FrameSkip: 2,
+					PointsToWin: 2, OpponentSkill: DefaultPongOpponent, Seed: int64(100 + i)}), 4)
+			}
+			return out
+		},
+	}
+}
+
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVectorEnvParallelBitIdentical is the tentpole differential test:
+// parallel StepAll/ResetAll (P ∈ {2,4}) must be bit-identical to sequential
+// stepping — observations, rewards, terminals, running episode rewards, and
+// the finished-episode ring — across every env family. K=5 is deliberately
+// not divisible by the shard counts so shard ranges are uneven. Run with
+// -race to also prove the shards don't data-race.
+func TestVectorEnvParallelBitIdentical(t *testing.T) {
+	const k, steps = 5, 400
+	for name, mk := range envFamilies(k) {
+		for _, p := range []int{2, 4} {
+			t.Run(name, func(t *testing.T) {
+				seq := NewVectorEnv(mk()...)
+				par := NewVectorEnv(mk()...)
+				par.SetParallelism(p)
+				defer par.Close()
+				if par.Parallelism() != p {
+					t.Fatalf("Parallelism() = %d, want %d", par.Parallelism(), p)
+				}
+
+				sObs, pObs := seq.ResetAll(), par.ResetAll()
+				if !tensor.SameShape(sObs.Shape(), pObs.Shape()) || !equalF64(sObs.Data(), pObs.Data()) {
+					t.Fatal("ResetAll observations differ")
+				}
+
+				rng := rand.New(rand.NewSource(7))
+				acts := make([]int, k)
+				n := seq.Envs[0].ActionSpace().N
+				for s := 0; s < steps; s++ {
+					for i := range acts {
+						acts[i] = rng.Intn(n)
+					}
+					so, sr, st2 := seq.StepAll(acts)
+					po, pr, pt := par.StepAll(acts)
+					if !equalF64(so.Data(), po.Data()) {
+						t.Fatalf("step %d: observations differ", s)
+					}
+					if !equalF64(sr, pr) || !equalF64(st2, pt) {
+						t.Fatalf("step %d: rewards/terminals differ", s)
+					}
+					if s == steps/2 {
+						// Mid-run ResetAll must also match.
+						if !equalF64(seq.ResetAll().Data(), par.ResetAll().Data()) {
+							t.Fatalf("mid-run ResetAll observations differ")
+						}
+					}
+				}
+				if !equalF64(seq.EpisodeRewards, par.EpisodeRewards) {
+					t.Fatal("EpisodeRewards differ")
+				}
+				if seq.FinishedCount() != par.FinishedCount() {
+					t.Fatalf("FinishedCount %d != %d", seq.FinishedCount(), par.FinishedCount())
+				}
+				if !equalF64(seq.FinishedEpisodes(), par.FinishedEpisodes()) {
+					t.Fatal("finished-episode rings differ")
+				}
+				sm, sok := seq.MeanFinishedReward(10)
+				pm, pok := par.MeanFinishedReward(10)
+				if sm != pm || sok != pok {
+					t.Fatalf("MeanFinishedReward (%g,%v) != (%g,%v)", sm, sok, pm, pok)
+				}
+			})
+		}
+	}
+}
+
+// TestVectorEnvParallelFinishedMergeOrder pins the deterministic
+// finished-ring merge with envs that finish on every step in every shard:
+// completion order must equal ascending env index, exactly as sequential.
+func TestVectorEnvParallelFinishedMergeOrder(t *testing.T) {
+	mk := func() []Env {
+		out := make([]Env, 7)
+		for i := range out {
+			out[i] = &oneStepEnv{n: float64(i)}
+		}
+		return out
+	}
+	seq := NewVectorEnv(mk()...)
+	par := NewVectorEnv(mk()...)
+	par.SetParallelism(3)
+	defer par.Close()
+	acts := make([]int, 7)
+	seq.ResetAll()
+	par.ResetAll()
+	for s := 0; s < 5; s++ {
+		seq.StepAll(acts)
+		par.StepAll(acts)
+	}
+	if !equalF64(seq.FinishedEpisodes(), par.FinishedEpisodes()) {
+		t.Fatalf("merge order differs:\nseq %v\npar %v", seq.FinishedEpisodes(), par.FinishedEpisodes())
+	}
+}
+
+// TestVectorEnvParallelismClamp: P > K clamps to K; P <= 1 restores
+// sequential stepping and stops the shards.
+func TestVectorEnvParallelismClamp(t *testing.T) {
+	v := NewVectorEnv(NewCartPole(1), NewCartPole(2))
+	v.SetParallelism(16)
+	if v.Parallelism() != 2 {
+		t.Fatalf("Parallelism() = %d, want clamp to 2", v.Parallelism())
+	}
+	v.StepAll([]int{0, 1})
+	v.SetParallelism(0)
+	if v.Parallelism() != 1 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(0), want 1", v.Parallelism())
+	}
+	v.StepAll([]int{0, 1})
+}
+
+// TestNewVectorEnvRejectsZeroEnvs: the zero-env vector has no element shape
+// to batch over and must fail loudly at construction, not inside the first
+// States call.
+func TestNewVectorEnvRejectsZeroEnvs(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from NewVectorEnv()")
+		}
+		if !strings.Contains(r.(string), "at least one environment") {
+			t.Fatalf("unhelpful panic message: %v", r)
+		}
+	}()
+	NewVectorEnv()
+}
+
+// blockingEnv parks in Step until released, so a second VectorEnv call can
+// be provoked while the first is in flight.
+type blockingEnv struct {
+	enter chan struct{} // signals Step was entered
+	gate  chan struct{} // Step blocks until this closes
+}
+
+func (e *blockingEnv) StateSpace() spaces.Space    { return spaces.NewFloatBox(1) }
+func (e *blockingEnv) ActionSpace() *spaces.IntBox { return spaces.NewIntBox(1) }
+func (e *blockingEnv) Reset() *tensor.Tensor       { return tensor.New(1) }
+func (e *blockingEnv) Step(int) (*tensor.Tensor, float64, bool) {
+	e.enter <- struct{}{}
+	<-e.gate
+	return tensor.New(1), 0, false
+}
+
+// TestVectorEnvConcurrentMisuseGuard: VectorEnv is single-caller — a
+// StepAll racing another StepAll must panic with a diagnostic instead of
+// silently corrupting the shared output buffers.
+func TestVectorEnvConcurrentMisuseGuard(t *testing.T) {
+	be := &blockingEnv{enter: make(chan struct{}, 1), gate: make(chan struct{})}
+	v := NewVectorEnv(be)
+	v.ResetAll()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.StepAll([]int{0})
+	}()
+	<-be.enter // first StepAll is now mid-flight
+
+	done := make(chan interface{}, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		v.StepAll([]int{0})
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("concurrent StepAll did not panic")
+		}
+		if !strings.Contains(r.(string), "concurrent VectorEnv call") {
+			t.Fatalf("unhelpful panic message: %v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent StepAll neither panicked nor returned")
+	}
+	close(be.gate)
+	wg.Wait()
+}
+
+// TestVectorEnvParallelBufferReuse: the fast path must keep the borrowed
+// output buffers pointer-stable across parallel steps, same as sequential.
+func TestVectorEnvParallelBufferReuse(t *testing.T) {
+	mk := make([]Env, 4)
+	for i := range mk {
+		mk[i] = NewCartPole(int64(i))
+	}
+	v := NewVectorEnv(mk...)
+	v.SetParallelism(2)
+	defer v.Close()
+	acts := []int{0, 1, 0, 1}
+	o1, r1, t1 := v.StepAll(acts)
+	o2, r2, t2 := v.StepAll(acts)
+	if o1 != o2 || &r1[0] != &r2[0] || &t1[0] != &t2[0] {
+		t.Fatal("parallel StepAll did not reuse its output buffers")
+	}
+}
+
+// TestPongFlatRendererBitEqual pins the flat renderer to the naive one over
+// a long random playout: every pixel frame produced by Step must equal the
+// freshly drawn RenderNaive frame for the same simulator state.
+func TestPongFlatRendererBitEqual(t *testing.T) {
+	p := NewPongSim(PongConfig{Obs: PongPixels, FrameSkip: 2, PointsToWin: 3,
+		OpponentSkill: DefaultPongOpponent, Seed: 11})
+	rng := rand.New(rand.NewSource(3))
+	obs := p.Reset()
+	if !equalF64(obs.Data(), p.RenderNaive().Data()) {
+		t.Fatal("Reset frame differs from RenderNaive")
+	}
+	for s := 0; s < 3000; s++ {
+		obs, _, done := p.Step(rng.Intn(3))
+		naive := p.RenderNaive()
+		if !tensor.SameShape(obs.Shape(), naive.Shape()) {
+			t.Fatalf("step %d: shape %v != %v", s, obs.Shape(), naive.Shape())
+		}
+		if !equalF64(obs.Data(), naive.Data()) {
+			t.Fatalf("step %d: flat frame differs from RenderNaive", s)
+		}
+		if done {
+			obs = p.Reset()
+			if !equalF64(obs.Data(), p.RenderNaive().Data()) {
+				t.Fatalf("step %d: post-reset frame differs from RenderNaive", s)
+			}
+		}
+	}
+}
+
+// TestPongRenderAllocFree: after warm-up, pixel-mode stepping must not
+// allocate new frames (the reused-buffer hot path).
+func TestPongRenderAllocFree(t *testing.T) {
+	p := NewPongSim(PongConfig{Obs: PongPixels, FrameSkip: 1, OpponentSkill: DefaultPongOpponent, Seed: 5})
+	p.Reset()
+	allocs := testing.AllocsPerRun(200, func() {
+		p.Step(1)
+	})
+	if allocs > 0 {
+		t.Fatalf("pixel Step allocates %.1f objects/op, want 0", allocs)
+	}
+}

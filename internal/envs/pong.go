@@ -42,6 +42,13 @@ type PongConfig struct {
 // agent plays the right paddle with actions {noop, up, down}, each rally won
 // scores +1/-1, and the episode ends at PointsToWin (±21 episode returns,
 // like the learning curves of Fig. 7b/8).
+//
+// Observations are borrowed: both the pixel frame and the feature vector are
+// backed by per-env buffers reused across Step/Reset calls (the render hot
+// path erases and redraws in place instead of allocating a fresh 84×84
+// tensor per step). Callers that retain an observation across a later
+// Step/Reset must copy it first — the same discipline as VectorEnv's batched
+// outputs, which already copy rows into their own buffer.
 type PongSim struct {
 	cfg PongConfig
 	rng *rand.Rand
@@ -54,6 +61,13 @@ type PongSim struct {
 
 	stateSpace spaces.Space
 	frames     int
+
+	// frameBuf is the reused pixel frame; dirty lists the flat [lo,hi) spans
+	// drawn into it last render, so the next render erases sparsely instead
+	// of clearing all 7056 pixels. obsBuf is the reused feature vector.
+	frameBuf *tensor.Tensor
+	dirty    [][2]int
+	obsBuf   *tensor.Tensor
 }
 
 const (
@@ -208,15 +222,84 @@ func (p *PongSim) observe() *tensor.Tensor {
 	if p.cfg.Obs == PongPixels {
 		return p.render()
 	}
-	return tensor.FromSlice([]float64{
-		p.ballX*2 - 1, p.ballY*2 - 1,
-		p.ballVX / pongBallSpeed / 2, p.ballVY / pongBallSpeed / 2,
-		p.agentY*2 - 1, p.oppY*2 - 1,
-	}, 6)
+	if p.obsBuf == nil {
+		p.obsBuf = tensor.New(6)
+	}
+	d := p.obsBuf.Data()
+	d[0] = p.ballX*2 - 1
+	d[1] = p.ballY*2 - 1
+	d[2] = p.ballVX / pongBallSpeed / 2
+	d[3] = p.ballVY / pongBallSpeed / 2
+	d[4] = p.agentY*2 - 1
+	d[5] = p.oppY*2 - 1
+	return p.obsBuf
 }
 
-// render draws ball and paddles into an 84×84 single-channel frame.
+// render draws ball and paddles into the reused 84×84 single-channel frame
+// in the flat-kernel style: the previous frame's drawn spans are erased
+// sparsely (a few dozen pixels, not all 7056) and each sprite row becomes
+// one contiguous flat fill instead of per-pixel nested index math. Pixels
+// are bit-equal to RenderNaive, pinned by TestPongFlatRendererBitEqual.
 func (p *PongSim) render() *tensor.Tensor {
+	if p.frameBuf == nil {
+		p.frameBuf = tensor.New(84, 84, 1)
+		p.dirty = make([][2]int, 0, 64)
+	}
+	d := p.frameBuf.Data()
+	for _, sp := range p.dirty {
+		for i := sp[0]; i < sp[1]; i++ {
+			d[i] = 0
+		}
+	}
+	p.dirty = p.dirty[:0]
+	// Ball: 2×2 block, clipped at the frame edges like RenderNaive's set().
+	bx, by := int(p.ballX*83), int(p.ballY*83)
+	xlo, xhi := bx, bx+2
+	if xlo < 0 {
+		xlo = 0
+	}
+	if xhi > 84 {
+		xhi = 84
+	}
+	if xlo < xhi {
+		for dy := 0; dy < 2; dy++ {
+			if y := by + dy; y >= 0 && y < 84 {
+				p.fillRow(y*84+xlo, y*84+xhi)
+			}
+		}
+	}
+	// Paddles: 2-px-wide vertical bars, one contiguous 2-px fill per row
+	// (agent at columns 82–83, opponent at columns 0–1).
+	scale := 83.0
+	half := int(scale * pongPaddleHalf)
+	ay, oy := int(p.agentY*83), int(p.oppY*83)
+	for k := -half; k <= half; k++ {
+		if y := ay + k; y >= 0 && y < 84 {
+			p.fillRow(y*84+82, y*84+84)
+		}
+		if y := oy + k; y >= 0 && y < 84 {
+			p.fillRow(y*84, y*84+2)
+		}
+	}
+	return p.frameBuf
+}
+
+// fillRow sets the flat span [lo,hi) of the frame to 1 and records it for
+// the next render's sparse erase.
+func (p *PongSim) fillRow(lo, hi int) {
+	d := p.frameBuf.Data()
+	for i := lo; i < hi; i++ {
+		d[i] = 1
+	}
+	p.dirty = append(p.dirty, [2]int{lo, hi})
+}
+
+// RenderNaive draws ball and paddles into a freshly allocated 84×84 frame
+// with per-pixel bounds-checked writes — the pre-kernel reference renderer,
+// retained (like MatMulNaive/Conv2DNaive) as the differential baseline the
+// flat renderer is pinned bit-equal against, and as the allocation baseline
+// for the env bench's render-alloc gate.
+func (p *PongSim) RenderNaive() *tensor.Tensor {
 	t := tensor.New(84, 84, 1)
 	d := t.Data()
 	set := func(x, y int) {
