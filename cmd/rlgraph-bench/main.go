@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, serve, fleet, live, dtype, env, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 6, 7a, 7b, 8, 9, chaos, plan, kernels, conv, serve, fleet, live, dtype, env, partition, all")
 	quick := flag.Bool("quick", false, "use the fast smoke-test scale")
 	flag.Parse()
 
@@ -32,10 +32,10 @@ func main() {
 	runners := map[string]func(benchkit.Scale) error{
 		"5a": fig5a, "5b": fig5b, "6": fig6, "7a": fig7a, "7b": fig7b, "8": fig8, "9": fig9,
 		"chaos": chaos, "plan": figPlan, "kernels": figKernels, "conv": figConv, "serve": figServe,
-		"fleet": figFleet, "live": figLive, "dtype": figDtype, "env": figEnv,
+		"fleet": figFleet, "live": figLive, "dtype": figDtype, "env": figEnv, "partition": figPartition,
 	}
 	if *fig == "all" {
-		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv", "serve", "fleet", "live", "dtype", "env"} {
+		for _, k := range []string{"5a", "5b", "6", "7a", "7b", "8", "9", "chaos", "plan", "kernels", "conv", "serve", "fleet", "live", "dtype", "env", "partition"} {
 			if err := runners[k](scale); err != nil {
 				log.Fatalf("figure %s: %v", k, err)
 			}
@@ -583,6 +583,37 @@ func figEnv(s benchkit.Scale) error {
 	}
 	fmt.Printf("acceptance: %s [%s]: %.2f (threshold %.2f): %v (wrote BENCH_env.json)\n",
 		gate.Benchmark, gate.Mode, gate.Value, gate.Threshold, gate.Pass)
+	return nil
+}
+
+// figPartition benchmarks partitioned (device-cut fragment actor) execution
+// against single-process plans and records the kill-and-restart recovery
+// scenario in BENCH_partition.json.
+func figPartition(s benchkit.Scale) error {
+	header("Partitioned execution — device-cut fragments on raysim actors vs single process")
+	rep, err := benchkit.PartitionBench(s.PartitionIters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("workload=%-12s devices=%d fragments=%d cut_values=%d cut_bytes/run=%-6d single_ns=%-10.0f part_ns=%-10.0f overhead=%.2fx\n",
+			r.Workload, r.Devices, r.Fragments, r.CutValues, r.CutBytesPerRun, r.SingleNsOp, r.PartNsOp, r.Overhead)
+		for _, f := range r.FragmentStats {
+			fmt.Printf("  frag %-28s steps=%-3d cut_ins=%-2d out_values=%-2d mailbox_hwm=%-2d calls=%-4d avg_wait_ns=%.0f\n",
+				f.Actor, f.Steps, f.CutIns, f.OutValues, f.MailboxHWM, f.CallsProcessed, f.AvgQueueWaitNs)
+		}
+	}
+	rec := rep.Recovery
+	fmt.Printf("recovery: workload=%s runs=%d crash=%s@call%d restarts=%d retries=%d exact=%v\n",
+		rec.Workload, rec.Runs, rec.CrashedActor, rec.CrashOnCall, rec.Restarts, rec.Retries, rec.Exact)
+	gates, err := benchkit.WritePartitionJSON(rep, "BENCH_partition.json")
+	if err != nil {
+		return err
+	}
+	for _, g := range gates {
+		fmt.Printf("acceptance: %s: %.2f (threshold %.2f): %v\n", g.Benchmark, g.Value, g.Threshold, g.Pass)
+	}
+	fmt.Println("wrote BENCH_partition.json")
 	return nil
 }
 

@@ -106,6 +106,9 @@ type Scale struct {
 	EnvBenchCounts []int
 	EnvBenchPars   []int
 	EnvBenchSteps  int
+	// PartitionIters is the timed Run count per point of the partitioned
+	// (device-cut fragment actor) execution benchmark.
+	PartitionIters int
 }
 
 // LaptopScale is the default scaled-down experiment preset.
@@ -150,6 +153,7 @@ func LaptopScale() Scale {
 		EnvBenchCounts:    []int{32, 256},
 		EnvBenchPars:      []int{1, 2, 4, 8},
 		EnvBenchSteps:     300,
+		PartitionIters:    100,
 	}
 }
 
@@ -191,6 +195,7 @@ func QuickScale() Scale {
 	s.EnvBenchCounts = []int{8, 32}
 	s.EnvBenchPars = []int{1, 2, 4}
 	s.EnvBenchSteps = 40
+	s.PartitionIters = 10
 	return s
 }
 

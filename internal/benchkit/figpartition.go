@@ -1,0 +1,387 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"rlgraph/internal/graph"
+	"rlgraph/internal/partition"
+	"rlgraph/internal/raysim"
+	"rlgraph/internal/tensor"
+)
+
+// PartitionFragmentStat describes one deployed fragment of a partitioned
+// workload, joined with the engine's per-actor mailbox metrics.
+type PartitionFragmentStat struct {
+	Actor     string `json:"actor"`
+	Device    string `json:"device"`
+	Level     int    `json:"level"`
+	Steps     int    `json:"steps"`
+	CutIns    int    `json:"cut_ins"`
+	OutValues int    `json:"out_values"`
+	// MailboxHWM / CallsProcessed / AvgQueueWaitNs come from the raysim
+	// actor-metrics snapshot accumulated over the timed runs.
+	MailboxHWM     int     `json:"mailbox_hwm"`
+	CallsProcessed int64   `json:"calls_processed"`
+	AvgQueueWaitNs float64 `json:"avg_queue_wait_ns"`
+}
+
+// PartitionBenchResult compares one workload partitioned across device-cut
+// fragment actors against single-process plan execution.
+type PartitionBenchResult struct {
+	// Workload names the graph shape; Devices is the number of device labels
+	// in the placement (the N of the N-way cut).
+	Workload  string `json:"workload"`
+	Devices   int    `json:"devices"`
+	Fragments int    `json:"fragments"`
+	// CutValues is the number of tensor-carrying cut edges per run;
+	// CutBytesPerRun the bytes they move (8 per element); TokensPerRun the
+	// pure ordering tokens.
+	CutValues      int   `json:"cut_values"`
+	CutBytesPerRun int64 `json:"cut_bytes_per_run"`
+	TokensPerRun   int64 `json:"tokens_per_run"`
+	// SingleNsOp / PartNsOp are mean ns per Run; Overhead is their ratio
+	// (partitioned / single-process — the price of the actor hops).
+	SingleNsOp float64 `json:"single_ns_op"`
+	PartNsOp   float64 `json:"part_ns_op"`
+	Overhead   float64 `json:"overhead"`
+	// Fragments stats, index-aligned with the deployment.
+	FragmentStats []PartitionFragmentStat `json:"fragment_stats"`
+}
+
+// PartitionRecoveryResult records the kill-and-restart chaos scenario: a
+// FaultPlan crashes a fragment actor mid-benchmark and the driver must
+// recover via restart + retry with results that stay bit-for-bit exact.
+type PartitionRecoveryResult struct {
+	Workload string `json:"workload"`
+	Runs     int    `json:"runs"`
+	// CrashedActor is the FaultPlan target; CrashOnCall its trigger.
+	CrashedActor string `json:"crashed_actor"`
+	CrashOnCall  int    `json:"crash_on_call"`
+	Restarts     int64  `json:"restarts"`
+	Retries      int64  `json:"retries"`
+	// Exact reports whether every run (including the recovered one) matched
+	// the single-process reference bit for bit.
+	Exact bool `json:"exact"`
+}
+
+// PartitionBenchReport is the BENCH_partition.json payload (minus the header
+// and acceptance block added by the CLI).
+type PartitionBenchReport struct {
+	Results  []PartitionBenchResult  `json:"results"`
+	Recovery PartitionRecoveryResult `json:"recovery"`
+}
+
+// PartitionGate is one acceptance entry of BENCH_partition.json.
+type PartitionGate struct {
+	Benchmark  string  `json:"benchmark"`
+	Gomaxprocs int     `json:"gomaxprocs,omitempty"`
+	Value      float64 `json:"value"`
+	Threshold  float64 `json:"threshold,omitempty"`
+	Pass       bool    `json:"pass"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// PartitionGateOverhead bounds partitioned-vs-single-process run latency on
+// the dueling 2-device cut when >= 4 CPUs are available (below that the
+// fragment actors contend with the driver and the ratio is noise).
+const PartitionGateOverhead = 5.0
+
+// PartitionAcceptance evaluates the report's gates: exact recovery (always)
+// and the gomaxprocs-conditional overhead bound.
+func PartitionAcceptance(rep *PartitionBenchReport) []PartitionGate {
+	gates := []PartitionGate{{
+		Benchmark: "kill-and-restart recovery stays bit-exact",
+		Value:     float64(rep.Recovery.Restarts),
+		Pass:      rep.Recovery.Exact && rep.Recovery.Restarts >= 1,
+	}}
+	procs := runtime.GOMAXPROCS(0)
+	over := PartitionGate{
+		Benchmark:  "partitioned overhead vs single-process (dueling-dqn/2dev)",
+		Gomaxprocs: procs,
+		Threshold:  PartitionGateOverhead,
+	}
+	for _, r := range rep.Results {
+		if r.Workload == "dueling-dqn" && r.Devices == 2 {
+			over.Value = r.Overhead
+		}
+	}
+	if procs >= 4 {
+		over.Pass = over.Value > 0 && over.Value <= PartitionGateOverhead
+	} else {
+		over.Pass = true
+		over.Note = "overhead gate requires >= 4 CPUs; recorded but not enforced"
+	}
+	return append(gates, over)
+}
+
+// WritePartitionJSON writes the BENCH_partition.json payload and returns its
+// acceptance gates.
+func WritePartitionJSON(rep *PartitionBenchReport, path string) ([]PartitionGate, error) {
+	report := struct {
+		Header BenchHeader `json:"header"`
+		*PartitionBenchReport
+		Acceptance []PartitionGate `json:"acceptance"`
+	}{Header: NewBenchHeader(), PartitionBenchReport: rep, Acceptance: PartitionAcceptance(rep)}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return report.Acceptance, err
+	}
+	return report.Acceptance, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// partWorkload is one benchmark graph plus a device placement.
+type partWorkload struct {
+	name    string
+	devices int
+	build   func() (*graph.Graph, []*graph.Node, graph.Feeds)
+}
+
+// buildDuelingGraph is a dueling-DQN-style forward pass: a shared MLP trunk
+// feeding separate value and advantage heads recombined into Q-values.
+// ndev=2 places the trunk on gpu0 and both heads on cpu0; ndev=3 splits the
+// heads across cpu0 and gpu1.
+func buildDuelingGraph(ndev int) (*graph.Graph, []*graph.Node, graph.Feeds) {
+	rng := rand.New(rand.NewSource(42))
+	g := graph.New()
+	g.SetDefaultDevice("gpu0")
+	x := graph.Placeholder(g, "obs", []int{32, 64})
+	w1 := graph.Const(g, tensor.RandNormal(rng, 0, 0.1, 64, 256))
+	w2 := graph.Const(g, tensor.RandNormal(rng, 0, 0.1, 256, 256))
+	trunk := graph.Tanh(g, graph.MatMul(g, graph.Tanh(g, graph.MatMul(g, x, w1)), w2))
+
+	g.SetDefaultDevice("cpu0")
+	wv := graph.Const(g, tensor.RandNormal(rng, 0, 0.1, 256, 1))
+	value := graph.MatMul(g, trunk, wv)
+
+	advDev := "cpu0"
+	if ndev >= 3 {
+		advDev = "gpu1"
+	}
+	g.SetDefaultDevice(advDev)
+	wa := graph.Const(g, tensor.RandNormal(rng, 0, 0.1, 256, 18))
+	adv := graph.MatMul(g, trunk, wa)
+
+	// Dueling combine on cpu0: Q = (A - mean A) + mean V (scalar broadcasts).
+	g.SetDefaultDevice("cpu0")
+	q := graph.Add(g, graph.Add(g, adv, graph.Neg(g, graph.Mean(g, adv))), graph.Mean(g, value))
+
+	feeds := graph.Feeds{x: tensor.RandNormal(rng, 0, 1, 32, 64)}
+	return g, []*graph.Node{q}, feeds
+}
+
+// buildConvTrunkGraph is an accelerator-resident conv trunk feeding a host
+// softmax head. ndev=2 puts the whole trunk on gpu0; ndev=3 splits the two
+// conv stages across gpu0 and gpu1 (a pipeline cut inside the trunk).
+func buildConvTrunkGraph(ndev int) (*graph.Graph, []*graph.Node, graph.Feeds) {
+	rng := rand.New(rand.NewSource(43))
+	g := graph.New()
+	params := tensor.ConvParams{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+
+	g.SetDefaultDevice("gpu0")
+	x := graph.Placeholder(g, "frame", []int{4, 16, 16, 8})
+	f1 := graph.Const(g, tensor.RandNormal(rng, 0, 0.1, 3, 3, 8, 8))
+	c1 := graph.Tanh(g, graph.Conv2D(g, x, f1, params))
+
+	if ndev >= 3 {
+		g.SetDefaultDevice("gpu1")
+	}
+	f2 := graph.Const(g, tensor.RandNormal(rng, 0, 0.1, 3, 3, 8, 8))
+	c2 := graph.Tanh(g, graph.Conv2D(g, c1, f2, params))
+	flat := graph.FlattenBatch(g, c2)
+
+	g.SetDefaultDevice("cpu0")
+	wh := graph.Const(g, tensor.RandNormal(rng, 0, 0.1, 16*16*8, 8))
+	logits := graph.Softmax(g, graph.MatMul(g, flat, wh))
+
+	feeds := graph.Feeds{x: tensor.RandNormal(rng, 0, 1, 4, 16, 16, 8)}
+	return g, []*graph.Node{logits}, feeds
+}
+
+func partWorkloads() []partWorkload {
+	return []partWorkload{
+		{"dueling-dqn", 2, func() (*graph.Graph, []*graph.Node, graph.Feeds) { return buildDuelingGraph(2) }},
+		{"dueling-dqn", 3, func() (*graph.Graph, []*graph.Node, graph.Feeds) { return buildDuelingGraph(3) }},
+		{"conv-trunk", 2, func() (*graph.Graph, []*graph.Node, graph.Feeds) { return buildConvTrunkGraph(2) }},
+		{"conv-trunk", 3, func() (*graph.Graph, []*graph.Node, graph.Feeds) { return buildConvTrunkGraph(3) }},
+	}
+}
+
+func feedKeys(feeds graph.Feeds) []*graph.Node {
+	out := make([]*graph.Node, 0, len(feeds))
+	for n := range feeds {
+		out = append(out, n)
+	}
+	return out
+}
+
+func tensorsBitsEqual(a, b []*tensor.Tensor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !tensor.SameShape(a[i].Shape(), b[i].Shape()) {
+			return false
+		}
+		da, db := a[i].Data(), b[i].Data()
+		for j := range da {
+			if math.Float64bits(da[j]) != math.Float64bits(db[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PartitionBench measures partitioned (multi-actor) execution of device-cut
+// workloads against single-process plan execution, then runs the
+// kill-and-restart chaos scenario. iters is the timed runs per point.
+func PartitionBench(iters int) (*PartitionBenchReport, error) {
+	rep := &PartitionBenchReport{}
+	for _, wl := range partWorkloads() {
+		g, fetches, feeds := wl.build()
+		sess := graph.NewSession(g)
+		want, err := sess.Run(fetches, feeds)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s/%ddev single: %w", wl.name, wl.devices, err)
+		}
+		singleNs, err := timeRuns(iters, func() error {
+			_, err := sess.Run(fetches, feeds)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s/%ddev single: %w", wl.name, wl.devices, err)
+		}
+
+		cluster := raysim.NewCluster(raysim.Config{})
+		ds := partition.NewDistSession(cluster, g, partition.DefaultConfig())
+		infos, part, err := ds.Describe(fetches, feedKeys(feeds))
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s/%ddev partition: %w", wl.name, wl.devices, err)
+		}
+		got, err := ds.Run(fetches, feeds)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s/%ddev partitioned run: %w", wl.name, wl.devices, err)
+		}
+		if !tensorsBitsEqual(want, got) {
+			return nil, fmt.Errorf("benchkit: %s/%ddev partitioned run diverged from single-process", wl.name, wl.devices)
+		}
+		partNs, err := timeRuns(iters, func() error {
+			_, err := ds.Run(fetches, feeds)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s/%ddev partitioned: %w", wl.name, wl.devices, err)
+		}
+
+		m := ds.Metrics()
+		snap := cluster.ActorMetricsSnapshot()
+		res := PartitionBenchResult{
+			Workload:   wl.name,
+			Devices:    wl.devices,
+			Fragments:  len(infos),
+			CutValues:  part.NumCutValues(),
+			SingleNsOp: singleNs,
+			PartNsOp:   partNs,
+			Overhead:   partNs / singleNs,
+		}
+		if m.Runs > 0 {
+			res.CutBytesPerRun = m.CutBytesMoved / m.Runs
+			res.TokensPerRun = m.TokensSent / m.Runs
+		}
+		for _, info := range infos {
+			am := snap[info.Actor]
+			res.FragmentStats = append(res.FragmentStats, PartitionFragmentStat{
+				Actor:          info.Actor,
+				Device:         info.Device,
+				Level:          info.Level,
+				Steps:          info.Steps,
+				CutIns:         info.CutIns,
+				OutValues:      info.OutValues,
+				MailboxHWM:     am.MailboxHWM,
+				CallsProcessed: am.CallsProcessed,
+				AvgQueueWaitNs: float64(am.AvgQueueWait().Nanoseconds()),
+			})
+		}
+		rep.Results = append(rep.Results, res)
+		ds.Close()
+	}
+
+	rec, err := partitionRecovery()
+	if err != nil {
+		return nil, err
+	}
+	rep.Recovery = *rec
+	return rep, nil
+}
+
+// partitionRecovery runs the dueling workload with a FaultPlan that crashes
+// the trunk fragment's actor partway through a sequence of runs. The driver
+// must restart and retry transparently; every run is checked bit for bit
+// against the single-process reference.
+func partitionRecovery() (*PartitionRecoveryResult, error) {
+	const runs, crashOn = 10, 6
+	g, fetches, feeds := buildDuelingGraph(2)
+	want, err := graph.NewSession(g).Run(fetches, feeds)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: recovery reference: %w", err)
+	}
+
+	// Actor names are deterministic per deployment order, so a throwaway
+	// deployment discovers the trunk fragment's name for the FaultPlan.
+	scout := partition.NewDistSession(raysim.NewCluster(raysim.Config{}), g, partition.DefaultConfig())
+	infos, _, err := scout.Describe(fetches, feedKeys(feeds))
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: recovery scout: %w", err)
+	}
+	scout.Close()
+	victim := ""
+	for _, info := range infos {
+		if info.Device == "gpu0" {
+			victim = info.Actor
+			break
+		}
+	}
+	if victim == "" {
+		return nil, fmt.Errorf("benchkit: no gpu0 trunk fragment in %+v", infos)
+	}
+	cluster := raysim.NewCluster(raysim.Config{
+		Faults: &raysim.FaultPlan{
+			Seed:   7,
+			Actors: map[string]raysim.ActorFaults{victim: {CrashOnCall: crashOn}},
+		},
+	})
+	cfg := partition.DefaultConfig()
+	cfg.MaxRetries = 3
+	ds := partition.NewDistSession(cluster, g, cfg)
+	defer ds.Close()
+
+	exact := true
+	for i := 0; i < runs; i++ {
+		got, err := ds.Run(fetches, feeds)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: recovery run %d: %w", i, err)
+		}
+		if !tensorsBitsEqual(want, got) {
+			exact = false
+		}
+	}
+	m := ds.Metrics()
+	if m.Restarts == 0 || m.Retries == 0 {
+		return nil, fmt.Errorf("benchkit: recovery scenario never triggered (crash-on-call %d too high for %d runs?): %+v",
+			crashOn, runs, m)
+	}
+	return &PartitionRecoveryResult{
+		Workload:     "dueling-dqn/2dev",
+		Runs:         runs,
+		CrashedActor: victim,
+		CrashOnCall:  crashOn,
+		Restarts:     m.Restarts,
+		Retries:      m.Retries,
+		Exact:        exact,
+	}, nil
+}

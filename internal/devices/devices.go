@@ -67,6 +67,20 @@ func (r *Registry) Lookup(name string) (Device, bool) {
 	return d, ok
 }
 
+// Names lists every registered device name, sorted. Executors feed this to
+// graph.Session.SetKnownDevices so plan compilation rejects placements on
+// devices outside the inventory.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.devices))
+	for name := range r.devices {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // OfKind lists devices of a kind, name-sorted.
 func (r *Registry) OfKind(k Kind) []Device {
 	r.mu.Lock()

@@ -1,27 +1,21 @@
 package distexec
 
 import (
-	"math/rand"
 	"time"
+
+	"rlgraph/internal/raysim"
 )
 
 // fullJitter maps a capped exponential backoff d and a uniform draw
 // u ∈ [0,1) to an actual sleep in [0, d) — AWS-style "full jitter". The
-// exponential schedule still bounds the restart rate, but simultaneous
-// failures (a killed host taking several workers down at once) no longer
-// produce synchronized restart waves that thundering-herd the parameter
-// server: each supervisor re-spawns at an independent random point inside
-// its window.
+// policy itself lives in raysim (raysim.FullJitter) so the partition driver
+// and the supervisors here share one implementation; these wrappers keep the
+// package-local call sites and tests unchanged.
 func fullJitter(d time.Duration, u float64) time.Duration {
-	if d <= 0 {
-		return 0
-	}
-	return time.Duration(u * float64(d))
+	return raysim.FullJitter(d, u)
 }
 
-// jitterDelay draws a full-jitter sleep for backoff d. The top-level
-// math/rand source is goroutine-safe, so concurrent supervisors draw
-// independently without shared state of their own.
+// jitterDelay draws a full-jitter sleep for backoff d.
 func jitterDelay(d time.Duration) time.Duration {
-	return fullJitter(d, rand.Float64())
+	return raysim.Jitter(d)
 }

@@ -6,7 +6,10 @@ import (
 
 	"rlgraph/internal/backend"
 	"rlgraph/internal/component"
+	"rlgraph/internal/devices"
 	"rlgraph/internal/graph"
+	"rlgraph/internal/partition"
+	"rlgraph/internal/raysim"
 	"rlgraph/internal/tensor"
 	"rlgraph/internal/vars"
 )
@@ -41,6 +44,14 @@ type StaticExecutor struct {
 	fusionOff      bool
 	bufferReuseOff bool
 	dtype          tensor.Dtype
+
+	// devReg, when set, is the local device inventory: Build wires its names
+	// into the session so plans placed on unknown devices fail compilation.
+	devReg *devices.Registry
+
+	// dist, when non-nil, routes Execute through partitioned multi-actor
+	// execution instead of the local session.
+	dist *partition.DistSession
 }
 
 // NewStatic returns an unbuilt static executor for root.
@@ -120,6 +131,9 @@ func (e *StaticExecutor) Build(in InputSpaces) (*BuildReport, error) {
 	e.sess.SetFusion(!e.fusionOff)
 	e.sess.SetBufferReuse(!e.bufferReuseOff)
 	e.sess.SetDType(e.dtype)
+	if e.devReg != nil {
+		e.sess.SetKnownDevices(e.devReg.Names())
+	}
 	// Precompile one execution plan per registry entry so Execute never pays
 	// plan compilation or cache-key hashing.
 	for api, ent := range e.registry {
@@ -201,6 +215,59 @@ func (e *StaticExecutor) SetDType(d tensor.Dtype) {
 // DType returns the storage type plan execution currently runs on.
 func (e *StaticExecutor) DType() tensor.Dtype { return e.dtype }
 
+// SetDeviceRegistry wires the local device inventory into the executor: plan
+// compilation (at Build, and for any later fetch-set) rejects node placements
+// on devices missing from the registry, with an error listing the known
+// names. Call before Build; nil disables validation.
+func (e *StaticExecutor) SetDeviceRegistry(r *devices.Registry) {
+	e.devReg = r
+	if e.sess != nil {
+		if r != nil {
+			e.sess.SetKnownDevices(r.Names())
+		} else {
+			e.sess.SetKnownDevices(nil)
+		}
+	}
+}
+
+// EnablePartitionedExecution switches Execute to partitioned multi-actor
+// execution: each registry entry's fetch-set is cut at device boundaries into
+// per-device fragments hosted in restartable actors on the cluster, with cut
+// tensors flowing actor-to-actor (see internal/partition). Results are
+// bit-for-bit identical to the local session path. Requires Build to have
+// run, and is incompatible with the float32 execution path (fragment plans
+// run unlowered). The returned DistSession exposes Describe/Metrics; the
+// executor owns its lifecycle — DisablePartitionedExecution closes it.
+func (e *StaticExecutor) EnablePartitionedExecution(cluster *raysim.Cluster, cfg partition.Config) (*partition.DistSession, error) {
+	if e.g == nil {
+		return nil, fmt.Errorf("exec: partitioned execution requires Build first")
+	}
+	if e.dtype == tensor.Float32 {
+		return nil, fmt.Errorf("exec: partitioned execution is unavailable with the float32 path (SetDType)")
+	}
+	if e.dist != nil {
+		return nil, fmt.Errorf("exec: partitioned execution already enabled")
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = e.parallelism
+	}
+	e.dist = partition.NewDistSession(cluster, e.g, cfg)
+	return e.dist, nil
+}
+
+// PartitionedExecution returns the active distributed session, or nil when
+// Execute runs locally.
+func (e *StaticExecutor) PartitionedExecution() *partition.DistSession { return e.dist }
+
+// DisablePartitionedExecution closes the distributed session (stopping its
+// fragment actors) and returns Execute to the local session path.
+func (e *StaticExecutor) DisablePartitionedExecution() {
+	if e.dist != nil {
+		e.dist.Close()
+		e.dist = nil
+	}
+}
+
 // Execute looks the API up in the op registry, validates and assembles
 // feeds, and issues one batched session call over the entry's precompiled
 // plan.
@@ -220,6 +287,12 @@ func (e *StaticExecutor) Execute(api string, inputs ...*tensor.Tensor) ([]*tenso
 			return nil, err
 		}
 		feeds[ph] = in
+	}
+	if e.dist != nil {
+		if e.dtype == tensor.Float32 {
+			return nil, fmt.Errorf("exec: partitioned execution is unavailable with the float32 path (SetDType)")
+		}
+		return e.dist.Run(ent.fetches, feeds)
 	}
 	return e.sess.RunCompiled(ent.plan, feeds)
 }

@@ -43,8 +43,16 @@ func (n *Node) Name() string { return n.name }
 // Device returns the device this node is assigned to ("" = default).
 func (n *Node) Device() string { return n.device }
 
-// SetDevice assigns the node to a device.
-func (n *Node) SetDevice(d string) { n.device = d }
+// SetDevice assigns the node to a device. Re-assigning a node to a different
+// device bumps the graph's placement epoch, which invalidates cached
+// execution plans (plan cache keys include the epoch) so stale placements
+// are never served after a re-placement.
+func (n *Node) SetDevice(d string) {
+	if n.device != d {
+		n.device = d
+		n.g.placementEpoch++
+	}
+}
 
 // WithName sets the node's name and returns it for chaining.
 func (n *Node) WithName(name string) *Node {
@@ -63,6 +71,13 @@ func (n *Node) String() string {
 type Graph struct {
 	nodes  []*Node
 	device string // current default device for new nodes
+
+	// placementEpoch counts device re-assignments (Node.SetDevice with a new
+	// value). Plan cache keys include it, so re-placing nodes invalidates
+	// previously cached plans instead of serving stale placements. Like graph
+	// construction, placement is a build-time activity: it must not race with
+	// Session runs.
+	placementEpoch uint64
 }
 
 // New returns an empty graph.
@@ -79,6 +94,10 @@ func (g *Graph) SetDefaultDevice(d string) { g.device = d }
 
 // DefaultDevice returns the current default device.
 func (g *Graph) DefaultDevice() string { return g.device }
+
+// PlacementEpoch returns the number of device re-assignments performed on the
+// graph's nodes. It changes only when SetDevice actually moves a node.
+func (g *Graph) PlacementEpoch() uint64 { return g.placementEpoch }
 
 // Add creates a node for op with the given inputs, running static shape
 // inference. It panics on shape errors: graph construction happens at build

@@ -60,6 +60,11 @@ func (o *varReadOp) Eval(*RunCtx, []*tensor.Tensor) (*tensor.Tensor, error) {
 }
 func (o *varReadOp) StatefulEval() {}
 
+// ReadOnlyStateful: VarRead observes state but never mutates it, so plans
+// containing only read-style stateful ops may be retried by the partition
+// driver after a fragment crash.
+func (o *varReadOp) ReadOnlyStateful() {}
+
 // VarRead adds a node that reads v at run time. Gradients flow into reads of
 // trainable variables via the Gradients wrt-node mechanism.
 func VarRead(g *Graph, v *vars.Variable) *Node {

@@ -1,0 +1,371 @@
+package graph
+
+import "fmt"
+
+// This file implements device-boundary plan partitioning (MSRL-style
+// dataflow fragments): the transitive closure of a fetch-set is cut at
+// Node.Device() boundaries into per-device fragments — each an independently
+// compiled Plan — whose cross-cut edges are made explicit so a distributed
+// driver (internal/partition) can stream intermediate tensors between
+// fragment hosts and reassemble a logical Session.Run bit-for-bit.
+//
+// Fragmentation rule: steps are laid out in the single-process compile order
+// (the recursive-equivalent DFS order), and each step's fragment is the pair
+// (device, level) where level counts device crossings along the step's
+// deepest chain of augmented predecessors (data inputs, control dependencies,
+// and the global stateful chain). Levels strictly increase across every cut
+// edge, so the fragment graph is acyclic by construction; each fragment's
+// step list is a subsequence of the global order, so per-fragment stateful
+// chains preserve the global serial order and fragment-at-a-time execution
+// that respects the cut edges reproduces single-process results exactly.
+
+// PartitionOptions configures PartitionByDevice.
+type PartitionOptions struct {
+	// Fuse runs the elementwise fusion pass on each fragment plan (bit-exact
+	// either way, matching Session fusion semantics).
+	Fuse bool
+}
+
+// CutEdge is one cross-fragment dependency. Value edges (Token == false)
+// carry the tensor produced by From into every consumer inside fragment
+// ToFrag; they are deduplicated per (From, ToFrag), so a producer read by
+// many steps of one fragment crosses the cut once. Token edges
+// (Token == true, From == nil) carry no tensor: they order fragment ToFrag
+// after fragment FromFrag for cross-cut control dependencies and the global
+// stateful chain, and are emitted only for fragment pairs with no value edge
+// (any value edge already implies completion of the producing fragment,
+// because fragments transmit outputs only after their whole plan has run).
+type CutEdge struct {
+	From     *Node
+	FromFrag int
+	ToFrag   int
+	Token    bool
+}
+
+// Fragment is one per-device sub-plan of a partitioned fetch-set.
+type Fragment struct {
+	// Device is the device label shared by every step of the fragment; Level
+	// is the device-crossing depth that disambiguates fragments on the same
+	// device.
+	Device string
+	Level  int
+
+	// Nodes lists the fragment's steps in global compile order.
+	Nodes []*Node
+
+	// Plan is the fragment's compiled plan: feeds are the fragment's global
+	// placeholders plus inbound cut-edge producers, fetches are Fetches.
+	Plan *Plan
+
+	// Fetches is the fragment plan's fetch list: outbound cut-edge producers
+	// and globally fetched nodes owned by this fragment, deduplicated.
+	Fetches []*Node
+
+	// GlobalFeeds lists the session-level fed nodes this fragment's plan
+	// binds; the driver routes the corresponding entries of the caller's feed
+	// dict here.
+	GlobalFeeds []*Node
+
+	// CutIns is the number of inbound cut edges (value and token) that must
+	// arrive before the fragment can execute a run.
+	CutIns int
+
+	// OutValues are the outbound value edges (From is always one of Fetches);
+	// OutTokens lists fragment indices owed a pure ordering token.
+	OutValues []CutEdge
+	OutTokens []int
+}
+
+// Partition is the result of cutting one (fetch-set, feed-set) pair at
+// device boundaries.
+type Partition struct {
+	g *Graph
+
+	// Fragments in order of first appearance in the global compile order.
+	Fragments []*Fragment
+
+	// Edges lists every cut edge: value edges in discovery order, then token
+	// edges.
+	Edges []CutEdge
+
+	// Fetches echoes the fetch list; FetchFrag[i] is the index of the
+	// fragment computing fetch i, or -1 when the fetch is itself a fed node
+	// (the driver returns the fed value directly).
+	Fetches   []*Node
+	FetchFrag []int
+
+	// Stateful reports whether any step is order-sensitive (StatefulOp).
+	// Mutating additionally reports whether any stateful step writes external
+	// state (is not ReadOnlyStatefulOp): a distributed driver may
+	// transparently retry a non-mutating partition after a fragment host
+	// failure (re-reading variables is idempotent), while a mutating run must
+	// surface the error — a blind retry could double-apply an Assign.
+	Stateful bool
+	Mutating bool
+}
+
+// Graph returns the graph the partition was cut from.
+func (p *Partition) Graph() *Graph { return p.g }
+
+// NumCutValues returns the number of value edges crossing fragments.
+func (p *Partition) NumCutValues() int {
+	n := 0
+	for _, e := range p.Edges {
+		if !e.Token {
+			n++
+		}
+	}
+	return n
+}
+
+// PartitionByDevice cuts the transitive closure of fetches (with feedNodes as
+// run-time sources) into per-device fragments. It reuses the session
+// compiler's DFS, so fetch/feed semantics, cycle detection, and step order
+// match Session.Run exactly. A graph placed on a single device yields one
+// fragment with no cut edges.
+func PartitionByDevice(g *Graph, fetches []*Node, feedNodes []*Node, opts PartitionOptions) (*Partition, error) {
+	fed := make(map[*Node]bool, len(feedNodes))
+	for _, n := range feedNodes {
+		if n.g != g {
+			return nil, fmt.Errorf("graph: feed node %v belongs to a different graph", n)
+		}
+		fed[n] = true
+	}
+	base, err := compilePlan(g, fetches, fed, false)
+	if err != nil {
+		return nil, err
+	}
+
+	order := make([]*Node, len(base.steps))
+	stepIdx := make(map[*Node]int, len(base.steps))
+	for i := range base.steps {
+		order[i] = base.steps[i].node
+		stepIdx[order[i]] = i
+	}
+
+	// Level assignment: lvl[i] = max over augmented predecessors p of
+	// lvl[p] + (device(p) != device(i) ? 1 : 0). Augmented predecessors are
+	// data inputs, control dependencies, and the previous stateful step.
+	lvl := make([]int, len(order))
+	prevStat := -1
+	stateful, mutating := false, false
+	for i, n := range order {
+		l := 0
+		consider := func(pred *Node) {
+			j, ok := stepIdx[pred]
+			if !ok {
+				return // fed source: no producing step
+			}
+			d := 0
+			if order[j].device != n.device {
+				d = 1
+			}
+			if lvl[j]+d > l {
+				l = lvl[j] + d
+			}
+		}
+		for _, d := range n.deps {
+			consider(d)
+		}
+		for _, in := range n.inputs {
+			consider(in)
+		}
+		if _, ok := n.op.(StatefulOp); ok {
+			stateful = true
+			if _, ro := n.op.(ReadOnlyStatefulOp); !ro {
+				mutating = true
+			}
+			if prevStat >= 0 {
+				consider(order[prevStat])
+			}
+			prevStat = i
+		}
+		lvl[i] = l
+	}
+
+	// Fragment assignment by (device, level), in first-appearance order.
+	type fragKey struct {
+		dev string
+		lvl int
+	}
+	fragIdx := map[fragKey]int{}
+	part := &Partition{g: g, Fetches: fetches, Stateful: stateful, Mutating: mutating}
+	frag := make([]int, len(order))
+	for i, n := range order {
+		k := fragKey{dev: n.device, lvl: lvl[i]}
+		fi, ok := fragIdx[k]
+		if !ok {
+			fi = len(part.Fragments)
+			fragIdx[k] = fi
+			part.Fragments = append(part.Fragments, &Fragment{Device: n.device, Level: lvl[i]})
+		}
+		frag[i] = fi
+		f := part.Fragments[fi]
+		f.Nodes = append(f.Nodes, n)
+	}
+
+	// Cut-edge discovery. Value edges dedupe per (producer, consumer
+	// fragment); token pairs dedupe per (from, to) fragment pair and are
+	// dropped when a value edge already connects the pair.
+	type valKey struct {
+		from *Node
+		to   int
+	}
+	seenVal := map[valKey]bool{}
+	type pair struct{ from, to int }
+	valPair := map[pair]bool{}
+	seenTok := map[pair]bool{}
+	var tokens []pair
+	fetchOf := make([]map[*Node]bool, len(part.Fragments))
+	addFetch := func(fi int, n *Node) {
+		if fetchOf[fi] == nil {
+			fetchOf[fi] = map[*Node]bool{}
+		}
+		if !fetchOf[fi][n] {
+			fetchOf[fi][n] = true
+			part.Fragments[fi].Fetches = append(part.Fragments[fi].Fetches, n)
+		}
+	}
+	for i, n := range order {
+		fi := frag[i]
+		for _, in := range n.inputs {
+			j, ok := stepIdx[in]
+			if !ok {
+				continue // fed source, routed by the driver
+			}
+			if frag[j] == fi {
+				continue
+			}
+			k := valKey{from: in, to: fi}
+			if seenVal[k] {
+				continue
+			}
+			seenVal[k] = true
+			valPair[pair{frag[j], fi}] = true
+			e := CutEdge{From: in, FromFrag: frag[j], ToFrag: fi}
+			part.Edges = append(part.Edges, e)
+			part.Fragments[frag[j]].OutValues = append(part.Fragments[frag[j]].OutValues, e)
+			addFetch(frag[j], in)
+		}
+		for _, d := range n.deps {
+			j, ok := stepIdx[d]
+			if !ok || frag[j] == fi {
+				continue
+			}
+			k := pair{frag[j], fi}
+			if !seenTok[k] {
+				seenTok[k] = true
+				tokens = append(tokens, k)
+			}
+		}
+	}
+	// Stateful chain crossing fragments: consecutive stateful steps on
+	// different fragments need an ordering token too.
+	prevStat = -1
+	for i, n := range order {
+		if _, ok := n.op.(StatefulOp); !ok {
+			continue
+		}
+		if prevStat >= 0 && frag[prevStat] != frag[i] {
+			k := pair{frag[prevStat], frag[i]}
+			if !seenTok[k] {
+				seenTok[k] = true
+				tokens = append(tokens, k)
+			}
+		}
+		prevStat = i
+	}
+	for _, k := range tokens {
+		if valPair[k] {
+			continue // a value edge already orders the pair
+		}
+		part.Edges = append(part.Edges, CutEdge{FromFrag: k.from, ToFrag: k.to, Token: true})
+		part.Fragments[k.from].OutTokens = append(part.Fragments[k.from].OutTokens, k.to)
+		part.Fragments[k.to].CutIns++
+	}
+	for _, e := range part.Edges {
+		if !e.Token {
+			part.Fragments[e.ToFrag].CutIns++
+		}
+	}
+
+	// Globally fetched nodes are fetched from their owning fragment; fetches
+	// of fed nodes are answered by the driver from the feed dict.
+	part.FetchFrag = make([]int, len(fetches))
+	for i, f := range fetches {
+		if fed[f] {
+			part.FetchFrag[i] = -1
+			continue
+		}
+		j, ok := stepIdx[f]
+		if !ok {
+			return nil, fmt.Errorf("graph: fetch %v missing from compile order", f)
+		}
+		part.FetchFrag[i] = frag[j]
+		addFetch(frag[j], f)
+	}
+
+	// Compile each fragment: feeds are the global fed nodes plus inbound cut
+	// producers; GlobalFeeds reports the session-level binds in plan order.
+	for fi, f := range part.Fragments {
+		fedF := make(map[*Node]bool, len(fed))
+		for n := range fed {
+			fedF[n] = true
+		}
+		for _, e := range part.Edges {
+			if !e.Token && e.ToFrag == fi {
+				fedF[e.From] = true
+			}
+		}
+		plan, err := compilePlanFromOrder(g, f.Nodes, f.Fetches, fedF, opts.Fuse)
+		if err != nil {
+			return nil, fmt.Errorf("graph: compiling fragment %d (%s/L%d): %w", fi, f.Device, f.Level, err)
+		}
+		f.Plan = plan
+		for _, fb := range plan.feeds {
+			if fed[fb.node] {
+				f.GlobalFeeds = append(f.GlobalFeeds, fb.node)
+			}
+		}
+	}
+	return part, nil
+}
+
+// compilePlanFromOrder compiles a plan whose steps are exactly `order`, in
+// that sequence. Every data input of an ordered node must be either an
+// earlier ordered node or in fed; control dependencies on nodes outside both
+// sets are dropped (finish ignores edges without a producing step), because
+// the partition layer enforces that ordering between fragments. Fetches must
+// be ordered nodes or fed sources.
+func compilePlanFromOrder(g *Graph, order []*Node, fetches []*Node, fed map[*Node]bool, fuse bool) (*Plan, error) {
+	b := newPlanBuilder(g)
+	for _, n := range order {
+		if n.g != g {
+			return nil, fmt.Errorf("graph: node %v belongs to a different graph", n)
+		}
+		if fed[n] {
+			return nil, fmt.Errorf("graph: ordered node %v is also fed", n)
+		}
+		for _, d := range n.deps {
+			if fed[d] {
+				b.ensureFeedSlot(d)
+			}
+		}
+		for _, in := range n.inputs {
+			if fed[in] {
+				b.ensureFeedSlot(in)
+				continue
+			}
+			if _, ok := b.p.slotOf[in]; !ok {
+				return nil, fmt.Errorf("graph: input %v of %v is neither an earlier step nor fed", in, n)
+			}
+		}
+		b.emitStep(n)
+	}
+	for _, f := range fetches {
+		if fed[f] {
+			b.ensureFeedSlot(f)
+		}
+	}
+	return b.finish(fetches, fuse)
+}

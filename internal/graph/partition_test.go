@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"rlgraph/internal/tensor"
+	"rlgraph/internal/vars"
+)
+
+// TestPlanCacheInvalidatedOnSetDevice is the stale-placement regression:
+// re-placing a node with SetDevice must not serve the previously cached plan
+// (which baked in the old device for stream scheduling and tallies).
+func TestPlanCacheInvalidatedOnSetDevice(t *testing.T) {
+	g := New()
+	x := Placeholder(g, "x", []int{2})
+	y := Tanh(g, AddScalar(g, x, 1))
+	sess := NewSession(g)
+	feeds := Feeds{x: tensor.FromSlice([]float64{0, 1}, 2)}
+	if _, err := sess.Run1(y, feeds); err != nil {
+		t.Fatal(err)
+	}
+	if n := sess.CompiledPlans(); n != 1 {
+		t.Fatalf("compiled plans = %d, want 1", n)
+	}
+	if got := sess.DeviceNodeCounts()["accel:0"]; got != 0 {
+		t.Fatalf("pre-placement accel tally = %d, want 0", got)
+	}
+
+	epoch := g.PlacementEpoch()
+	y.SetDevice("accel:0")
+	if g.PlacementEpoch() != epoch+1 {
+		t.Fatalf("PlacementEpoch = %d after SetDevice, want %d", g.PlacementEpoch(), epoch+1)
+	}
+	y.SetDevice("accel:0") // same device: no epoch bump, no extra invalidation
+	if g.PlacementEpoch() != epoch+1 {
+		t.Fatalf("PlacementEpoch bumped on no-op SetDevice")
+	}
+
+	if _, err := sess.Run1(y, feeds); err != nil {
+		t.Fatal(err)
+	}
+	if n := sess.CompiledPlans(); n != 2 {
+		t.Fatalf("compiled plans after re-placement = %d, want 2 (stale plan served)", n)
+	}
+	if got := sess.DeviceNodeCounts()["accel:0"]; got != 1 {
+		t.Fatalf("accel tally after re-placement = %d, want 1 (stale placement executed)", got)
+	}
+}
+
+// TestSessionKnownDeviceValidation: with a known-device set configured,
+// compiling a plan that places steps on an unknown device fails with an error
+// naming the known devices; the empty (default) device is always allowed.
+func TestSessionKnownDeviceValidation(t *testing.T) {
+	g := New()
+	x := Placeholder(g, "x", []int{1})
+	a := AddScalar(g, x, 1)
+	a.SetDevice("gpu:7")
+	sess := NewSession(g)
+	sess.SetKnownDevices([]string{"cpu:0", "gpu:0"})
+	_, err := sess.Run1(a, Feeds{x: tensor.FromSlice([]float64{1}, 1)})
+	if err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	for _, want := range []string{"gpu:7", "cpu:0", "gpu:0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	a.SetDevice("gpu:0")
+	out, err := sess.Run1(a, Feeds{x: tensor.FromSlice([]float64{1}, 1)})
+	if err != nil {
+		t.Fatalf("known device rejected: %v", err)
+	}
+	if out.Item() != 2 {
+		t.Fatalf("got %g", out.Item())
+	}
+
+	sess.SetKnownDevices(nil) // disable validation
+	a.SetDevice("anything")
+	if _, err := sess.Run1(a, Feeds{x: tensor.FromSlice([]float64{1}, 1)}); err != nil {
+		t.Fatalf("validation not disabled: %v", err)
+	}
+}
+
+// TestPartitionByDeviceStructure checks the cut analysis on a hand-built
+// two-device pipeline: trunk on accel, head on cpu, one value edge between
+// them, fetches owned by the right fragments.
+func TestPartitionByDeviceStructure(t *testing.T) {
+	g := New()
+	x := Placeholder(g, "x", []int{2, 3})
+	g.SetDefaultDevice("accel:0")
+	trunk := Tanh(g, AddScalar(g, x, 0.5))
+	g.SetDefaultDevice("cpu:0")
+	head := Neg(g, trunk)
+	out := AddScalar(g, head, 1)
+
+	part, err := PartitionByDevice(g, []*Node{out}, []*Node{x}, PartitionOptions{Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Fragments) != 2 {
+		t.Fatalf("fragments = %d, want 2", len(part.Fragments))
+	}
+	if part.Stateful {
+		t.Fatal("pure program reported stateful")
+	}
+	f0, f1 := part.Fragments[0], part.Fragments[1]
+	if f0.Device != "accel:0" || f1.Device != "cpu:0" {
+		t.Fatalf("fragment devices = %q, %q", f0.Device, f1.Device)
+	}
+	if len(part.Edges) != 1 || part.Edges[0].Token || part.Edges[0].From != trunk {
+		t.Fatalf("edges = %+v, want one value edge carrying trunk", part.Edges)
+	}
+	if f1.CutIns != 1 || f0.CutIns != 0 {
+		t.Fatalf("CutIns = %d, %d", f0.CutIns, f1.CutIns)
+	}
+	if len(f0.OutValues) != 1 || f0.OutValues[0].ToFrag != 1 {
+		t.Fatalf("OutValues = %+v", f0.OutValues)
+	}
+	if len(f0.GlobalFeeds) != 1 || f0.GlobalFeeds[0] != x {
+		t.Fatalf("GlobalFeeds = %v", f0.GlobalFeeds)
+	}
+	if part.FetchFrag[0] != 1 {
+		t.Fatalf("FetchFrag = %v", part.FetchFrag)
+	}
+	if f0.Plan.Steps() == 0 || f1.Plan.Steps() == 0 {
+		t.Fatal("empty fragment plan")
+	}
+	if got := f0.Plan.Steps() + f1.Plan.Steps(); got > g.NumNodes() {
+		t.Fatalf("fragments execute %d steps, graph has %d nodes", got, g.NumNodes())
+	}
+}
+
+// assignDevicesDeterministic spreads a graph's nodes across ndev device
+// labels in id-dependent stripes — interleaved enough to force multi-level
+// fragments and same-device cuts.
+func assignDevicesDeterministic(g *Graph, ndev int) []string {
+	devs := make([]string, ndev)
+	for i := range devs {
+		devs[i] = fmt.Sprintf("dev:%d", i)
+	}
+	for _, n := range g.Nodes() {
+		n.SetDevice(devs[(n.ID()/5)%ndev])
+	}
+	return devs
+}
+
+// runPartitionLocally executes a partition fragment-at-a-time in level order
+// (levels strictly increase across cut edges, so that is topological),
+// passing cut tensors through an in-memory map — the single-process oracle
+// for what the distributed driver must reproduce.
+func runPartitionLocally(part *Partition, feeds Feeds, parallelism int) ([]*tensor.Tensor, error) {
+	idx := make([]int, len(part.Fragments))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return part.Fragments[idx[a]].Level < part.Fragments[idx[b]].Level
+	})
+	val := map[*Node]*tensor.Tensor{}
+	for _, fi := range idx {
+		f := part.Fragments[fi]
+		fragFeeds := Feeds{}
+		for _, n := range f.GlobalFeeds {
+			fragFeeds[n] = feeds[n]
+		}
+		for _, e := range part.Edges {
+			if !e.Token && e.ToFrag == fi {
+				fragFeeds[e.From] = val[e.From]
+			}
+		}
+		sess := NewSession(part.Graph())
+		sess.SetParallelism(parallelism)
+		outs, err := sess.RunCompiled(f.Plan, fragFeeds)
+		if err != nil {
+			return nil, fmt.Errorf("fragment %d (%s/L%d): %w", fi, f.Device, f.Level, err)
+		}
+		for i, n := range f.Fetches {
+			val[n] = outs[i]
+		}
+	}
+	out := make([]*tensor.Tensor, len(part.Fetches))
+	for i, fnode := range part.Fetches {
+		if part.FetchFrag[i] < 0 {
+			out[i] = feeds[fnode]
+			continue
+		}
+		out[i] = val[fnode]
+	}
+	return out, nil
+}
+
+// TestPartitionDifferentialRandomDAGs: partitioned fragment-at-a-time
+// execution of the random-DAG programs — striped over 2 and 3 device labels,
+// fragments run serially and with the parallel executor — must match the
+// recursive reference bit for bit, including the Assign/VarRead stateful
+// chains.
+func TestPartitionDifferentialRandomDAGs(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		ref, err := runRandomProgram(seed, modeRecursive)
+		if err != nil {
+			t.Fatalf("seed %d: recursive: %v", seed, err)
+		}
+		for _, ndev := range []int{2, 3} {
+			for _, par := range []int{1, 4} {
+				g, fetches, feeds := buildRandomProgram(seed)
+				assignDevicesDeterministic(g, ndev)
+				feedNodes := make([]*Node, 0, len(feeds))
+				for n := range feeds {
+					feedNodes = append(feedNodes, n)
+				}
+				part, err := PartitionByDevice(g, fetches, feedNodes, PartitionOptions{Fuse: true})
+				if err != nil {
+					t.Fatalf("seed %d ndev %d: partition: %v", seed, ndev, err)
+				}
+				if ndev > 1 && len(part.Fragments) < 2 {
+					t.Fatalf("seed %d ndev %d: only %d fragments", seed, ndev, len(part.Fragments))
+				}
+				got, err := runPartitionLocally(part, feeds, par)
+				if err != nil {
+					t.Fatalf("seed %d ndev %d par %d: %v", seed, ndev, par, err)
+				}
+				if len(got) != len(ref) {
+					t.Fatalf("seed %d: fetch count mismatch", seed)
+				}
+				for i := range ref {
+					if !bitsEqual(ref[i], got[i]) {
+						t.Fatalf("seed %d ndev %d par %d fetch %d: partitioned execution diverged:\n%v\nvs\n%v",
+							seed, ndev, par, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionStatefulTokenOrdering: a cross-device Assign/VarRead chain
+// whose only cross-fragment dependencies are ordering (control deps + the
+// stateful chain) must still produce serial results — exercising token edges.
+func TestPartitionStatefulTokenOrdering(t *testing.T) {
+	build := func() (*Graph, []*Node) {
+		g := New()
+		v := vars.New("v", tensor.Scalar(1))
+		var fetches []*Node
+		last := VarRead(g, v)
+		for i := 0; i < 12; i++ {
+			g.SetDefaultDevice(fmt.Sprintf("dev:%d", i%2))
+			a := Assign(g, v, AddScalar(g, last, 1))
+			a.AddDep(last)
+			r := VarRead(g, v)
+			r.AddDep(a)
+			fetches = append(fetches, r)
+			last = r
+		}
+		return g, fetches
+	}
+	g1, f1 := build()
+	want, err := NewSession(g1).Run(f1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g2, f2 := build()
+	part, err := PartitionByDevice(g2, f2, nil, PartitionOptions{Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Stateful {
+		t.Fatal("stateful program not flagged")
+	}
+	if len(part.Fragments) < 2 {
+		t.Fatalf("fragments = %d, want >= 2", len(part.Fragments))
+	}
+	got, err := runPartitionLocally(part, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bitsEqual(want[i], got[i]) {
+			t.Fatalf("fetch %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPartitionFetchOfFedNode: fetching a fed node routes around the
+// fragments entirely (FetchFrag == -1, driver answers from the feed dict).
+func TestPartitionFetchOfFedNode(t *testing.T) {
+	g := New()
+	x := Placeholder(g, "x", []int{1})
+	y := AddScalar(g, x, 1)
+	y.SetDevice("dev:1")
+	part, err := PartitionByDevice(g, []*Node{x, y}, []*Node{x}, PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.FetchFrag[0] != -1 || part.FetchFrag[1] != 0 {
+		t.Fatalf("FetchFrag = %v", part.FetchFrag)
+	}
+	in := tensor.FromSlice([]float64{41}, 1)
+	out, err := runPartitionLocally(part, Feeds{x: in}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != in {
+		t.Fatal("fed fetch not returned directly")
+	}
+	if out[1].Item() != 42 {
+		t.Fatalf("got %g", out[1].Item())
+	}
+}

@@ -393,7 +393,10 @@ const (
 	modePlanLoweredParallel // float32-lowered parallel executor
 )
 
-func runRandomProgram(seed int64, mode evalMode) ([]*tensor.Tensor, error) {
+// buildRandomProgram constructs the random DAG for one seed: the graph, the
+// fetch list, and the feed dict. Each caller gets a freshly built but
+// rng-identical program, so variable mutation cannot leak across evaluators.
+func buildRandomProgram(seed int64) (*Graph, []*Node, Feeds) {
 	rng := rand.New(rand.NewSource(seed))
 	g := New()
 	v := vars.New("v", tensor.RandNormal(rng, 0, 1, 2, 3))
@@ -465,7 +468,11 @@ func runRandomProgram(seed int64, mode evalMode) ([]*tensor.Tensor, error) {
 			fetches = append(fetches, pickScalar())
 		}
 	}
+	return g, fetches, feeds
+}
 
+func runRandomProgram(seed int64, mode evalMode) ([]*tensor.Tensor, error) {
+	g, fetches, feeds := buildRandomProgram(seed)
 	sess := NewSession(g)
 	switch mode {
 	case modeRecursive:

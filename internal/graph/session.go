@@ -2,6 +2,8 @@ package graph
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +51,8 @@ type Session struct {
 	mu              sync.Mutex
 	deviceNodeCount map[string]int
 	devLimits       map[string]int
+	knownDevices    map[string]bool // nil = no validation
+	knownList       []string        // sorted, for error messages
 
 	planMu sync.RWMutex
 	plans  map[string]*Plan
@@ -130,6 +134,49 @@ func (s *Session) SetDeviceLimits(limits map[string]int) {
 	s.mu.Lock()
 	s.devLimits = m
 	s.mu.Unlock()
+}
+
+// SetKnownDevices declares the set of valid device names for plan
+// compilation. Once set, compiling a plan that contains a step placed on a
+// device outside the set fails with an error listing the known devices —
+// instead of the unknown name silently falling through to default-device
+// behaviour (one scheduler stream, no registry-backed stream limits). The
+// empty device name (default placement) is always allowed. Passing an empty
+// slice disables validation.
+func (s *Session) SetKnownDevices(names []string) {
+	var m map[string]bool
+	var list []string
+	if len(names) > 0 {
+		m = make(map[string]bool, len(names))
+		for _, n := range names {
+			if !m[n] {
+				m[n] = true
+				list = append(list, n)
+			}
+		}
+		sort.Strings(list)
+	}
+	s.mu.Lock()
+	s.knownDevices = m
+	s.knownList = list
+	s.mu.Unlock()
+}
+
+// validateDevices checks every device a plan's steps were placed on against
+// the session's known-device set (when one is configured).
+func (s *Session) validateDevices(p *Plan) error {
+	s.mu.Lock()
+	known, list := s.knownDevices, s.knownList
+	s.mu.Unlock()
+	if known == nil {
+		return nil
+	}
+	for _, d := range p.statDevices {
+		if d != "" && !known[d] {
+			return fmt.Errorf("graph: plan places nodes on unknown device %q; known devices: %s", d, strings.Join(list, ", "))
+		}
+	}
+	return nil
 }
 
 // deviceLimitsRef returns the current limits map; it is replaced wholesale
@@ -230,6 +277,9 @@ func (s *Session) planFor(fetches []*Node, feeds Feeds) (*Plan, error) {
 	}
 	p, err := compilePlan(s.g, fetches, fed, fuse)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.validateDevices(p); err != nil {
 		return nil, err
 	}
 	s.planMu.Lock()

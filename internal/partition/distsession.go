@@ -1,0 +1,452 @@
+// Package partition executes one logical Session.Run across multiple raysim
+// actors: a compiled fetch-set is cut at device boundaries into dataflow
+// fragments (graph.PartitionByDevice), each fragment is hosted in its own
+// restartable actor with a private executor session, and intermediate tensors
+// flow actor-to-actor as typed cut-edge messages through the engine's
+// mailboxes — charged by the cluster's latency/bandwidth cost model like any
+// other remote call. The driver routes the caller's feeds to the fragments
+// that bind them, gathers fetched values back, and reproduces single-process
+// plan execution bit for bit (see DESIGN.md §5.14 for the contract).
+//
+// Failure semantics: a fragment actor dying mid-run fails the attempt (fast
+// via failed sends/starts, else via the run deadline). The driver aborts the
+// attempt everywhere, restarts dead incarnations from their behavior
+// factories, and — when the partition mutates no external state — retries the
+// whole run under capped full-jitter backoff. Mutating partitions surface the
+// error instead: a blind re-run could double-apply an Assign.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlgraph/internal/graph"
+	"rlgraph/internal/raysim"
+	"rlgraph/internal/tensor"
+)
+
+// ErrClosed marks Runs issued after Close.
+var ErrClosed = errors.New("partition: session closed")
+
+// Config tunes a DistSession.
+type Config struct {
+	// Parallelism is each fragment executor's worker count (<=1 = serial).
+	Parallelism int
+	// Fuse compiles fragment plans with the elementwise fusion pass.
+	Fuse bool
+	// RunTimeout bounds one attempt of a logical Run (default 30s).
+	RunTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried, restarting
+	// dead fragment actors first. Only non-mutating partitions retry.
+	MaxRetries int
+	// RetryBackoff is the initial backoff window between attempts (full
+	// jitter, doubled per retry, capped at 1s; default 50ms).
+	RetryBackoff time.Duration
+	// NamePrefix prefixes fragment actor names (default "partition/").
+	// Fragment f of the session's n-th deployed fetch-set is named
+	// "<prefix>d<n>/f<f>@<device>" — deterministic, so FaultPlans can target
+	// specific fragments.
+	NamePrefix string
+}
+
+// DefaultConfig returns the recommended configuration (fusion on, like
+// graph.Session defaults).
+func DefaultConfig() Config { return Config{Fuse: true} }
+
+func (c Config) withDefaults() Config {
+	if c.RunTimeout <= 0 {
+		c.RunTimeout = 30 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.NamePrefix == "" {
+		c.NamePrefix = "partition/"
+	}
+	return c
+}
+
+// Metrics is a snapshot of a DistSession's counters.
+type Metrics struct {
+	// Runs counts logical Run calls; Attempts counts per-attempt executions
+	// (Attempts > Runs means retries happened); Retries and Restarts count
+	// recovery actions.
+	Runs, Attempts, Retries, Restarts int64
+	// CutValuesSent / CutBytesMoved / TokensSent tally cross-fragment
+	// traffic: tensors sent over value edges (8 bytes per element, matching
+	// the raysim cost model) and pure ordering tokens.
+	CutValuesSent, CutBytesMoved, TokensSent int64
+}
+
+// DistSession hosts partitioned fetch-sets on a raysim cluster. The first
+// Run (or Describe) of each distinct (fetch-set, feed-key-set) deploys its
+// fragments as restartable actors; later Runs reuse them. Logical Runs are
+// serialized — one spans the whole cluster of fragment actors at a time.
+type DistSession struct {
+	cluster *raysim.Cluster
+	g       *graph.Graph
+	cfg     Config
+
+	mu          sync.Mutex
+	deployments map[string]*deployment
+	nextDep     int
+	runID       uint64
+	closed      bool
+
+	runs, attempts, retries, restarts atomic.Int64
+	cutValues, cutBytes, tokens       atomic.Int64
+}
+
+// deployment is one partitioned fetch-set and its actor names (index-aligned
+// with part.Fragments).
+type deployment struct {
+	part  *graph.Partition
+	names []string
+}
+
+// NewDistSession returns a distributed session for g on the given cluster.
+func NewDistSession(cluster *raysim.Cluster, g *graph.Graph, cfg Config) *DistSession {
+	return &DistSession{
+		cluster:     cluster,
+		g:           g,
+		cfg:         cfg.withDefaults(),
+		deployments: make(map[string]*deployment),
+	}
+}
+
+// Graph returns the session's graph.
+func (d *DistSession) Graph() *graph.Graph { return d.g }
+
+// Metrics returns the session's counter snapshot.
+func (d *DistSession) Metrics() Metrics {
+	return Metrics{
+		Runs:          d.runs.Load(),
+		Attempts:      d.attempts.Load(),
+		Retries:       d.retries.Load(),
+		Restarts:      d.restarts.Load(),
+		CutValuesSent: d.cutValues.Load(),
+		CutBytesMoved: d.cutBytes.Load(),
+		TokensSent:    d.tokens.Load(),
+	}
+}
+
+// FragmentInfo describes one deployed fragment.
+type FragmentInfo struct {
+	Actor       string
+	Device      string
+	Level       int
+	Steps       int
+	CutIns      int
+	OutValues   int
+	GlobalFeeds int
+}
+
+// Describe deploys (or reuses) the partition for a fetch-set and returns its
+// fragment layout plus the underlying partition. Use the Actor names to
+// target fragments with FaultPlans or kills in chaos tests.
+func (d *DistSession) Describe(fetches []*graph.Node, feedNodes []*graph.Node) ([]FragmentInfo, *graph.Partition, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, nil, ErrClosed
+	}
+	dep, err := d.deployLocked(fetches, feedNodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	infos := make([]FragmentInfo, len(dep.part.Fragments))
+	for fi, f := range dep.part.Fragments {
+		infos[fi] = FragmentInfo{
+			Actor:       dep.names[fi],
+			Device:      f.Device,
+			Level:       f.Level,
+			Steps:       f.Plan.Steps(),
+			CutIns:      f.CutIns,
+			OutValues:   len(f.OutValues),
+			GlobalFeeds: len(f.GlobalFeeds),
+		}
+	}
+	return infos, dep.part, nil
+}
+
+// Run evaluates fetches under feeds with Session.Run semantics: results are
+// bit-for-bit identical to single-process plan execution. Feeds are routed to
+// the fragments that bind them; cut tensors flow actor-to-actor; fetches are
+// gathered from their owning fragments (a fetch of a fed node is answered
+// from the feed dict directly).
+func (d *DistSession) Run(fetches []*graph.Node, feeds graph.Feeds) ([]*tensor.Tensor, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	dep, err := d.deployLocked(fetches, feedNodes(feeds))
+	if err != nil {
+		return nil, err
+	}
+	d.runs.Add(1)
+	part := dep.part
+	if len(part.Fragments) == 0 {
+		// Every fetch is fed: nothing to execute.
+		out := make([]*tensor.Tensor, len(part.Fetches))
+		for i, fn := range part.Fetches {
+			out[i] = feeds[fn]
+		}
+		return out, nil
+	}
+
+	attempts := 1
+	if !part.Mutating {
+		attempts += d.cfg.MaxRetries
+	}
+	backoff := d.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d.retries.Add(1)
+			time.Sleep(raysim.Jitter(backoff))
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+		if err := d.reviveLocked(dep); err != nil {
+			lastErr = err
+			continue
+		}
+		out, err := d.attemptLocked(dep, feeds)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		d.abortLocked(dep)
+		if part.Mutating {
+			return nil, fmt.Errorf("partition: run failed (mutating partition, not retried): %w", err)
+		}
+	}
+	return nil, fmt.Errorf("partition: run failed after %d attempt(s): %w", attempts, lastErr)
+}
+
+// Close stops every fragment actor. In-flight work is drained gracefully.
+func (d *DistSession) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, dep := range d.deployments {
+		for _, name := range dep.names {
+			if a := d.cluster.Actor(name); a != nil {
+				a.Stop()
+			}
+		}
+	}
+}
+
+// feedNodes extracts the feed-dict keys sorted by node id (deterministic
+// deployment keys).
+func feedNodes(feeds graph.Feeds) []*graph.Node {
+	out := make([]*graph.Node, 0, len(feeds))
+	for n := range feeds {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID() < out[b].ID() })
+	return out
+}
+
+// depKey identifies a deployment: fetch ids in order, feed ids sorted, the
+// placement epoch (re-placing nodes must re-partition), and the fusion flag.
+func (d *DistSession) depKey(fetches, feedNodes []*graph.Node) string {
+	b := make([]byte, 0, 8*(len(fetches)+len(feedNodes))+16)
+	for _, f := range fetches {
+		b = strconv.AppendInt(b, int64(f.ID()), 36)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	for _, f := range feedNodes {
+		b = strconv.AppendInt(b, int64(f.ID()), 36)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	b = strconv.AppendUint(b, d.g.PlacementEpoch(), 36)
+	if d.cfg.Fuse {
+		b = append(b, '|', 'F')
+	}
+	return string(b)
+}
+
+// deployLocked returns the deployment for a fetch-set, partitioning the graph
+// and spawning one restartable actor per fragment on first use.
+func (d *DistSession) deployLocked(fetches, feedNodes []*graph.Node) (*deployment, error) {
+	key := d.depKey(fetches, feedNodes)
+	if dep := d.deployments[key]; dep != nil {
+		return dep, nil
+	}
+	part, err := graph.PartitionByDevice(d.g, fetches, feedNodes, graph.PartitionOptions{Fuse: d.cfg.Fuse})
+	if err != nil {
+		return nil, err
+	}
+	dep := &deployment{part: part, names: make([]string, len(part.Fragments))}
+	di := d.nextDep
+	d.nextDep++
+	for fi, f := range part.Fragments {
+		dev := f.Device
+		if dev == "" {
+			dev = "default"
+		}
+		name := fmt.Sprintf("%sd%d/f%d@%s", d.cfg.NamePrefix, di, fi, dev)
+		dep.names[fi] = name
+		if _, err := d.cluster.NewRestartableActor(name, d.fragFactory(dep, fi)); err != nil {
+			return nil, err
+		}
+	}
+	d.deployments[key] = dep
+	return dep, nil
+}
+
+// reviveLocked restarts fragment actors whose current incarnation has died
+// (killed, crashed, or stopped), so every attempt begins with a full fleet.
+func (d *DistSession) reviveLocked(dep *deployment) error {
+	for _, name := range dep.names {
+		a := d.cluster.Actor(name)
+		if a != nil && !a.Crashed() {
+			continue
+		}
+		if _, err := d.cluster.Restart(name); err != nil {
+			return fmt.Errorf("partition: restarting %q: %w", name, err)
+		}
+		d.restarts.Add(1)
+	}
+	return nil
+}
+
+// abortLocked tells every fragment to discard state for the current attempt,
+// so a late-arriving cut tensor from a failed run can never satisfy a future
+// one.
+func (d *DistSession) abortLocked(dep *deployment) {
+	r := d.runID
+	for _, name := range dep.names {
+		if a := d.cluster.Actor(name); a != nil {
+			a.Call("abort", r)
+		}
+	}
+}
+
+// report is one fragment's attempt outcome, delivered to the driver through
+// the per-attempt channel (never blocking: the channel is sized for every
+// possible report).
+type report struct {
+	frag  int
+	runID uint64
+	outs  map[*graph.Node]*tensor.Tensor
+	err   error
+}
+
+// startMsg opens an attempt on a fragment: its share of the caller's feeds,
+// and the driver's report sink.
+type startMsg struct {
+	runID  uint64
+	feeds  graph.Feeds
+	report func(report)
+}
+
+// attemptLocked executes one attempt of a logical run.
+func (d *DistSession) attemptLocked(dep *deployment, feeds graph.Feeds) ([]*tensor.Tensor, error) {
+	part := dep.part
+	d.runID++
+	r := d.runID
+	d.attempts.Add(1)
+	nfr := len(part.Fragments)
+	ch := make(chan report, 2*nfr+len(part.Edges)+4)
+	repFn := func(rep report) {
+		select {
+		case ch <- rep:
+		default:
+		}
+	}
+	deadline := time.Now().Add(d.cfg.RunTimeout)
+
+	starts := make([]*raysim.Future, nfr)
+	for fi, f := range part.Fragments {
+		gf := make(graph.Feeds, len(f.GlobalFeeds))
+		for _, n := range f.GlobalFeeds {
+			v, ok := feeds[n]
+			if !ok {
+				return nil, fmt.Errorf("partition: missing feed for %v (bound by fragment %d)", n, fi)
+			}
+			gf[n] = v
+		}
+		a := d.cluster.Actor(dep.names[fi])
+		if a == nil {
+			return nil, fmt.Errorf("partition: fragment actor %q unregistered", dep.names[fi])
+		}
+		starts[fi] = a.Call("start", &startMsg{runID: r, feeds: gf, report: repFn})
+	}
+	// Surface start-call failures (dead actor, injected fault) as reports so
+	// the driver fails fast instead of waiting out the deadline.
+	go func() {
+		for fi, f := range starts {
+			if _, err := f.GetTimeout(time.Until(deadline)); err != nil {
+				repFn(report{frag: fi, runID: r, err: fmt.Errorf("start: %w", err)})
+			}
+		}
+	}()
+
+	completed := make([]bool, nfr)
+	ncomp := 0
+	vals := make(map[*graph.Node]*tensor.Tensor)
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for ncomp < nfr {
+		select {
+		case rep := <-ch:
+			if rep.runID != r {
+				continue // straggler from an aborted attempt
+			}
+			if rep.err != nil {
+				return nil, fmt.Errorf("partition: fragment %d (%s): %w",
+					rep.frag, fragLabel(part, rep.frag), rep.err)
+			}
+			if !completed[rep.frag] {
+				completed[rep.frag] = true
+				ncomp++
+				for n, v := range rep.outs {
+					vals[n] = v
+				}
+			}
+		case <-timer.C:
+			return nil, fmt.Errorf("partition: attempt %d timed out after %v with %d/%d fragments done: %w",
+				r, d.cfg.RunTimeout, ncomp, nfr, raysim.ErrTimeout)
+		}
+	}
+	out := make([]*tensor.Tensor, len(part.Fetches))
+	for i, fn := range part.Fetches {
+		if part.FetchFrag[i] < 0 {
+			out[i] = feeds[fn]
+			continue
+		}
+		v, ok := vals[fn]
+		if !ok {
+			return nil, fmt.Errorf("partition: fetch %v not reported by fragment %d", fn, part.FetchFrag[i])
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fragLabel(part *graph.Partition, fi int) string {
+	f := part.Fragments[fi]
+	dev := f.Device
+	if dev == "" {
+		dev = "default"
+	}
+	return fmt.Sprintf("%s/L%d", dev, f.Level)
+}

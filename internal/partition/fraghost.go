@@ -1,0 +1,217 @@
+package partition
+
+import (
+	"fmt"
+
+	"rlgraph/internal/graph"
+	"rlgraph/internal/raysim"
+	"rlgraph/internal/tensor"
+)
+
+// fragHost is the per-incarnation state of one fragment actor: a private
+// executor session over the shared graph, plus a state machine of pending run
+// attempts. All methods execute serially from the actor's mailbox, so the
+// host needs no locking; cut tensors produced by other fragments arrive as
+// "feed" calls and the fragment's plan runs once its start message and every
+// inbound cut edge (CutIns of them) are in.
+type fragHost struct {
+	d   *DistSession
+	dep *deployment
+	fi  int
+
+	sess *graph.Session
+	// drop is the stale-run watermark: messages for runIDs below it (aborted
+	// attempts, already-executed runs) are discarded, so a straggler tensor
+	// from a failed attempt can never contaminate a later one.
+	drop    uint64
+	pending map[uint64]*fragRun
+}
+
+// fragRun accumulates one attempt's inputs until the fragment can execute.
+type fragRun struct {
+	started bool
+	feeds   graph.Feeds
+	got     int // inbound cut edges received (values + tokens)
+	report  func(report)
+	err     error // first inbound validation failure, reported once started
+}
+
+// fragFactory builds the behavior factory for fragment fi of a deployment.
+// Each incarnation (initial spawn and every Restart) gets a fresh session and
+// an empty pending map — in-flight state dies with the incarnation, and the
+// driver re-feeds everything on retry.
+func (d *DistSession) fragFactory(dep *deployment, fi int) raysim.BehaviorFactory {
+	return func() (raysim.Behavior, error) {
+		h := &fragHost{
+			d:       d,
+			dep:     dep,
+			fi:      fi,
+			sess:    graph.NewSession(d.g),
+			pending: make(map[uint64]*fragRun),
+		}
+		h.sess.SetParallelism(d.cfg.Parallelism)
+		return raysim.Behavior{
+			"start": h.start,
+			"feed":  h.feed,
+			"abort": h.abort,
+		}, nil
+	}
+}
+
+func (h *fragHost) runState(r uint64) *fragRun {
+	pr := h.pending[r]
+	if pr == nil {
+		pr = &fragRun{feeds: make(graph.Feeds)}
+		h.pending[r] = pr
+	}
+	return pr
+}
+
+// start opens run attempt r: the fragment's share of the caller's feed dict
+// plus the driver's report sink. args: [*startMsg].
+func (h *fragHost) start(args []interface{}) (interface{}, error) {
+	msg := args[0].(*startMsg)
+	if msg.runID < h.drop {
+		return nil, nil
+	}
+	pr := h.runState(msg.runID)
+	pr.started = true
+	pr.report = msg.report
+	for n, v := range msg.feeds {
+		pr.feeds[n] = v
+	}
+	h.maybeRun(msg.runID, pr)
+	return nil, nil
+}
+
+// feed delivers one inbound cut edge for run r. args: [runID uint64,
+// from *graph.Node, val *tensor.Tensor]; a nil from is a pure ordering token.
+// The payload rides as a bare tensor argument so the engine's bandwidth cost
+// model charges the transfer. The edge is typed: the tensor must match the
+// producing node's static shape (-1 dims are unconstrained).
+func (h *fragHost) feed(args []interface{}) (interface{}, error) {
+	r := args[0].(uint64)
+	from, _ := args[1].(*graph.Node)
+	val, _ := args[2].(*tensor.Tensor)
+	if r < h.drop {
+		return nil, nil
+	}
+	pr := h.runState(r)
+	if from == nil {
+		pr.got++
+	} else if err := checkEdgeType(from, val); err != nil {
+		if pr.err == nil {
+			pr.err = err
+		}
+	} else if _, dup := pr.feeds[from]; !dup {
+		pr.feeds[from] = val
+		pr.got++
+	}
+	h.maybeRun(r, pr)
+	return nil, nil
+}
+
+// abort discards all state at or below run r: the driver calls it on every
+// fragment after a failed attempt, before issuing a fresh runID.
+func (h *fragHost) abort(args []interface{}) (interface{}, error) {
+	r := args[0].(uint64)
+	if r+1 > h.drop {
+		h.drop = r + 1
+	}
+	for id := range h.pending {
+		if id < h.drop {
+			delete(h.pending, id)
+		}
+	}
+	return nil, nil
+}
+
+// maybeRun executes the fragment plan once the attempt is started and fully
+// fed (or poisoned by a bad inbound edge). It reports the fragment's own
+// fetch values to the driver immediately, then streams outbound cut edges to
+// downstream fragment actors; a goroutine watches those sends so a dead
+// consumer fails the attempt fast instead of waiting out the run deadline.
+func (h *fragHost) maybeRun(r uint64, pr *fragRun) {
+	f := h.dep.part.Fragments[h.fi]
+	if !pr.started || (pr.err == nil && pr.got < f.CutIns) {
+		return
+	}
+	delete(h.pending, r)
+	if r+1 > h.drop {
+		h.drop = r + 1
+	}
+	if pr.err != nil {
+		pr.report(report{frag: h.fi, runID: r, err: pr.err})
+		return
+	}
+	outs, err := h.sess.RunCompiled(f.Plan, pr.feeds)
+	if err != nil {
+		pr.report(report{frag: h.fi, runID: r, err: err})
+		return
+	}
+	om := make(map[*graph.Node]*tensor.Tensor, len(f.Fetches))
+	for i, fn := range f.Fetches {
+		om[fn] = outs[i]
+	}
+	pr.report(report{frag: h.fi, runID: r, outs: om})
+
+	var futs []*raysim.Future
+	var dests []string
+	send := func(to int, from *graph.Node, val *tensor.Tensor) bool {
+		name := h.dep.names[to]
+		a := h.d.cluster.Actor(name)
+		if a == nil {
+			pr.report(report{frag: h.fi, runID: r,
+				err: fmt.Errorf("downstream fragment actor %q unregistered", name)})
+			return false
+		}
+		futs = append(futs, a.Call("feed", r, from, val))
+		dests = append(dests, name)
+		return true
+	}
+	for _, e := range f.OutValues {
+		t := om[e.From]
+		h.d.cutValues.Add(1)
+		h.d.cutBytes.Add(int64(8 * t.Size()))
+		if !send(e.ToFrag, e.From, t) {
+			return
+		}
+	}
+	for _, to := range f.OutTokens {
+		h.d.tokens.Add(1)
+		if !send(to, nil, nil) {
+			return
+		}
+	}
+	if len(futs) == 0 {
+		return
+	}
+	rep, timeout, fi := pr.report, h.d.cfg.RunTimeout, h.fi
+	go func() {
+		for i, fut := range futs {
+			if _, err := fut.GetTimeout(timeout); err != nil {
+				rep(report{frag: fi, runID: r,
+					err: fmt.Errorf("delivering cut edge to %s: %w", dests[i], err)})
+			}
+		}
+	}()
+}
+
+// checkEdgeType validates a cut tensor against the producing node's static
+// shape. Dynamic (-1) dims accept any extent.
+func checkEdgeType(from *graph.Node, val *tensor.Tensor) error {
+	if val == nil {
+		return fmt.Errorf("cut edge from %v delivered no tensor", from)
+	}
+	want := from.Shape()
+	got := val.Shape()
+	if len(want) != len(got) {
+		return fmt.Errorf("cut edge from %v: rank %d tensor for static shape %v", from, len(got), want)
+	}
+	for i, w := range want {
+		if w >= 0 && got[i] != w {
+			return fmt.Errorf("cut edge from %v: shape %v does not match static shape %v", from, got, want)
+		}
+	}
+	return nil
+}

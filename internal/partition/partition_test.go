@@ -1,0 +1,414 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"rlgraph/internal/graph"
+	"rlgraph/internal/raysim"
+	"rlgraph/internal/tensor"
+	"rlgraph/internal/vars"
+)
+
+// buildRandomProgram mirrors the graph package's differential-harness
+// generator (same rng sequence, exported API): a stateful 50-op program over
+// 2x3 matrices with Assign/VarRead chains, control deps, broadcasts, and
+// shape round trips. Building twice with one seed yields structurally
+// identical graphs with identical initial variable state, so a reference
+// session and a distributed session can each run their own copy.
+func buildRandomProgram(seed int64) (*graph.Graph, []*graph.Node, graph.Feeds) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	v := vars.New("v", tensor.RandNormal(rng, 0, 1, 2, 3))
+
+	feeds := graph.Feeds{}
+	x := graph.Placeholder(g, "x", []int{2, 3})
+	feeds[x] = tensor.RandNormal(rng, 0, 1, 2, 3)
+
+	mats := []*graph.Node{x, graph.Const(g, tensor.RandNormal(rng, 0, 1, 2, 3))}
+	scalars := []*graph.Node{graph.ConstScalar(g, rng.Float64())}
+	first := graph.VarRead(g, v)
+	mats = append(mats, first)
+	lastState := first
+
+	pickMat := func() *graph.Node { return mats[rng.Intn(len(mats))] }
+	pickScalar := func() *graph.Node { return scalars[rng.Intn(len(scalars))] }
+
+	for i := 0; i < 50; i++ {
+		switch rng.Intn(13) {
+		case 0:
+			mats = append(mats, graph.Add(g, pickMat(), pickMat()))
+		case 1:
+			mats = append(mats, graph.Mul(g, pickMat(), pickMat()))
+		case 2:
+			mats = append(mats, graph.Tanh(g, pickMat()))
+		case 3:
+			mats = append(mats, graph.Sigmoid(g, pickMat()))
+		case 4:
+			mats = append(mats, graph.Neg(g, pickMat()))
+		case 5:
+			mats = append(mats, graph.AddScalar(g, pickMat(), rng.Float64()*2-1))
+		case 6:
+			scalars = append(scalars, graph.Sum(g, pickMat()))
+		case 7:
+			scalars = append(scalars, graph.Mean(g, pickMat()))
+		case 8:
+			mats = append(mats, graph.Add(g, pickMat(), pickScalar()))
+		case 9:
+			mats = append(mats, graph.Reshape(g, graph.Transpose(g, graph.Reshape(g, pickMat(), 3, 2)), 2, 3))
+		case 10:
+			mats = append(mats, graph.Where(g, graph.GreaterEqual(g, pickMat(), pickMat()), pickMat(), pickMat()))
+		case 11:
+			a := graph.Assign(g, v, graph.Tanh(g, pickMat()))
+			a.AddDep(lastState)
+			lastState = a
+			mats = append(mats, a)
+		case 12:
+			r := graph.VarRead(g, v)
+			r.AddDep(lastState)
+			lastState = r
+			mats = append(mats, r)
+		}
+		if rng.Intn(8) == 0 && len(mats) > 2 {
+			mats[len(mats)-1].AddDep(mats[rng.Intn(len(mats)-1)])
+		}
+	}
+
+	fetches := []*graph.Node{lastState}
+	for i := 0; i < 3; i++ {
+		if rng.Intn(2) == 0 {
+			fetches = append(fetches, pickMat())
+		} else {
+			fetches = append(fetches, pickScalar())
+		}
+	}
+	return g, fetches, feeds
+}
+
+// assignDevicesDeterministic stripes nodes over ndev synthetic devices in
+// runs of 5 node ids, forcing many cut edges without depending on graph
+// structure.
+func assignDevicesDeterministic(g *graph.Graph, ndev int) []string {
+	devs := make([]string, ndev)
+	for i := range devs {
+		devs[i] = fmt.Sprintf("dev:%d", i)
+	}
+	for _, n := range g.Nodes() {
+		n.SetDevice(devs[(n.ID()/5)%ndev])
+	}
+	return devs
+}
+
+// bitsEqual compares tensors bit for bit (NaN-safe).
+func bitsEqual(a, b *tensor.Tensor) bool {
+	if !tensor.SameShape(a.Shape(), b.Shape()) {
+		return false
+	}
+	da, db := a.Data(), b.Data()
+	for i := range da {
+		if math.Float64bits(da[i]) != math.Float64bits(db[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTwoDeviceTrunkHead is a pure (retryable) accelerator-trunk/cpu-head
+// pipeline: dev:0 computes the trunk, dev:1 the head, with exactly one value
+// edge between them.
+func buildTwoDeviceTrunkHead() (*graph.Graph, *graph.Node, []*graph.Node, graph.Feeds) {
+	g := graph.New()
+	g.SetDefaultDevice("dev:0")
+	rng := rand.New(rand.NewSource(11))
+	x := graph.Placeholder(g, "x", []int{4, 8})
+	w1 := graph.Const(g, tensor.RandNormal(rng, 0, 1, 8, 16))
+	trunk := graph.Tanh(g, graph.MatMul(g, x, w1))
+	g.SetDefaultDevice("dev:1")
+	w2 := graph.Const(g, tensor.RandNormal(rng, 0, 1, 16, 4))
+	head := graph.Softmax(g, graph.MatMul(g, trunk, w2))
+	feeds := graph.Feeds{x: tensor.RandNormal(rng, 0, 1, 4, 8)}
+	return g, x, []*graph.Node{head, trunk}, feeds
+}
+
+// TestDistSessionDifferentialRandomDAGs is the acceptance gate: over random
+// stateful DAGs striped across 2 and 3 devices, DistSession.Run must match
+// the recursive reference bit for bit — with serial and parallel fragment
+// executors, and across repeated runs of one deployment (stateful chains
+// advance identically on both sides).
+func TestDistSessionDifferentialRandomDAGs(t *testing.T) {
+	const runsPerSeed = 2
+	for seed := int64(0); seed < 10; seed++ {
+		for _, ndev := range []int{2, 3} {
+			for _, par := range []int{1, 4} {
+				refG, refFetches, refFeeds := buildRandomProgram(seed)
+				refSess := graph.NewSession(refG)
+
+				dg, fetches, feeds := buildRandomProgram(seed)
+				assignDevicesDeterministic(dg, ndev)
+				cluster := raysim.NewCluster(raysim.Config{})
+				ds := NewDistSession(cluster, dg, Config{Parallelism: par, Fuse: true})
+
+				for run := 0; run < runsPerSeed; run++ {
+					ref, err := refSess.RunRecursive(refFetches, refFeeds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := ds.Run(fetches, feeds)
+					if err != nil {
+						t.Fatalf("seed %d ndev %d par %d run %d: %v", seed, ndev, par, run, err)
+					}
+					for i := range ref {
+						if !bitsEqual(ref[i], got[i]) {
+							t.Fatalf("seed %d ndev %d par %d run %d fetch %d: distributed execution diverged:\n%v\nvs\n%v",
+								seed, ndev, par, run, i, got[i], ref[i])
+						}
+					}
+				}
+
+				m := ds.Metrics()
+				if m.Runs != runsPerSeed || m.Attempts != runsPerSeed {
+					t.Fatalf("seed %d: metrics %+v, want %d clean runs", seed, m, runsPerSeed)
+				}
+				_, part, err := ds.Describe(fetches, feedNodes(feeds))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if nv := part.NumCutValues(); nv > 0 && (m.CutValuesSent != int64(nv*runsPerSeed) || m.CutBytesMoved == 0) {
+					t.Fatalf("seed %d: cut traffic %+v, want %d value sends per run", seed, m, nv)
+				}
+				ds.Close()
+				if _, err := ds.Run(fetches, feeds); !errors.Is(err, ErrClosed) {
+					t.Fatalf("run after close: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// TestDistSessionKillRecovery: killing a fragment actor between runs must be
+// healed transparently — the next Run restarts the dead incarnation from its
+// factory and produces exact results, without consuming a retry.
+func TestDistSessionKillRecovery(t *testing.T) {
+	g, x, fetches, feeds := buildTwoDeviceTrunkHead()
+	want, err := graph.NewSession(g).RunRecursive(fetches, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = x
+
+	cluster := raysim.NewCluster(raysim.Config{})
+	ds := NewDistSession(cluster, g, DefaultConfig())
+	defer ds.Close()
+	infos, part, err := ds.Describe(fetches, feedNodes(feeds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three fragments: the dev:0 trunk, the dev:1 head weights (level 0), and
+	// the dev:1 head compute (level 1, downstream of the trunk cut).
+	if len(infos) != 3 || part.Mutating {
+		t.Fatalf("want 3 pure fragments, got %+v (mutating=%v)", infos, part.Mutating)
+	}
+
+	check := func(tag string) {
+		got, err := ds.Run(fetches, feeds)
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		for i := range want {
+			if !bitsEqual(want[i], got[i]) {
+				t.Fatalf("%s: fetch %d diverged", tag, i)
+			}
+		}
+	}
+	check("before kill")
+	for _, info := range infos {
+		cluster.Actor(info.Actor).Kill(nil)
+		check("after killing " + info.Actor)
+	}
+	m := ds.Metrics()
+	if m.Restarts < int64(len(infos)) {
+		t.Fatalf("Restarts = %d, want >= %d (one per killed fragment)", m.Restarts, len(infos))
+	}
+	if m.Retries != 0 || m.Attempts != m.Runs {
+		t.Fatalf("kill between runs must not consume retries: %+v", m)
+	}
+}
+
+// TestDistSessionChaosMidRunRetry injects a crash into a fragment actor's
+// first processed call (FaultPlan targets the deterministic actor name), so
+// the first attempt dies mid-run. The pure partition must recover via
+// restart + retry and still produce exact results; fault state persists
+// across the restart, so the crash fires exactly once.
+func TestDistSessionChaosMidRunRetry(t *testing.T) {
+	g, _, fetches, feeds := buildTwoDeviceTrunkHead()
+	want, err := graph.NewSession(g).RunRecursive(fetches, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for victim := 0; victim < 2; victim++ {
+		name := fmt.Sprintf("partition/d0/f%d@dev:%d", victim, victim)
+		cluster := raysim.NewCluster(raysim.Config{
+			Faults: &raysim.FaultPlan{
+				Seed:   1,
+				Actors: map[string]raysim.ActorFaults{name: {CrashOnCall: 1}},
+			},
+		})
+		ds := NewDistSession(cluster, g, Config{
+			Fuse:         true,
+			MaxRetries:   3,
+			RetryBackoff: time.Millisecond,
+			RunTimeout:   10 * time.Second,
+		})
+		got, err := ds.Run(fetches, feeds)
+		if err != nil {
+			t.Fatalf("victim %d: %v", victim, err)
+		}
+		for i := range want {
+			if !bitsEqual(want[i], got[i]) {
+				t.Fatalf("victim %d: fetch %d diverged after recovery", victim, i)
+			}
+		}
+		m := ds.Metrics()
+		if m.Retries < 1 || m.Restarts < 1 || m.Attempts < 2 {
+			t.Fatalf("victim %d: expected a recovered attempt, got %+v", victim, m)
+		}
+		ds.Close()
+	}
+}
+
+// TestDistSessionMutatingNotRetried: a partition containing an Assign must
+// surface a mid-run failure instead of retrying (a blind re-run could
+// double-apply the write).
+func TestDistSessionMutatingNotRetried(t *testing.T) {
+	g := graph.New()
+	g.SetDefaultDevice("dev:0")
+	v := vars.New("acc", tensor.FromSlice([]float64{1}, 1))
+	x := graph.Placeholder(g, "x", []int{1})
+	a := graph.Assign(g, v, graph.Add(g, graph.VarRead(g, v), x))
+	head := graph.AddScalar(g, a, 0)
+	head.SetDevice("dev:1")
+	feeds := graph.Feeds{x: tensor.FromSlice([]float64{2}, 1)}
+
+	cluster := raysim.NewCluster(raysim.Config{
+		Faults: &raysim.FaultPlan{
+			Actors: map[string]raysim.ActorFaults{"partition/d0/f1@dev:1": {CrashOnCall: 1}},
+		},
+	})
+	ds := NewDistSession(cluster, g, Config{Fuse: true, MaxRetries: 5, RunTimeout: 10 * time.Second})
+	defer ds.Close()
+
+	_, part, err := ds.Describe([]*graph.Node{head}, []*graph.Node{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Mutating {
+		t.Fatal("partition with Assign must be mutating")
+	}
+	_, err = ds.Run([]*graph.Node{head}, feeds)
+	if err == nil {
+		t.Fatal("expected the injected crash to surface")
+	}
+	if !strings.Contains(err.Error(), "not retried") {
+		t.Fatalf("error should state the no-retry policy: %v", err)
+	}
+	if m := ds.Metrics(); m.Retries != 0 || m.Attempts != 1 {
+		t.Fatalf("mutating run must not retry: %+v", m)
+	}
+
+	// The same session still works once the fault has fired: the driver
+	// revives the crashed fragment on the next Run. The failed attempt's
+	// upstream Assign had already committed (v: 1 -> 3) before the downstream
+	// fragment crashed — the very hazard that rules out blind retries — so
+	// this run observes 3 and writes 5.
+	got, err := ds.Run([]*graph.Node{head}, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Data()[0] != 5 {
+		t.Fatalf("post-recovery run = %v, want [5]", got[0].Data())
+	}
+	if m := ds.Metrics(); m.Restarts < 1 {
+		t.Fatalf("expected a revive restart, got %+v", m)
+	}
+}
+
+// TestDistSessionFetchOfFedNode: a fetch of a fed placeholder bypasses the
+// fragments (answered from the feed dict), including the degenerate case
+// where every fetch is fed and nothing executes.
+func TestDistSessionFetchOfFedNode(t *testing.T) {
+	g := graph.New()
+	x := graph.Placeholder(g, "x", []int{1})
+	y := graph.AddScalar(g, x, 1)
+	y.SetDevice("dev:1")
+	in := tensor.FromSlice([]float64{41}, 1)
+
+	cluster := raysim.NewCluster(raysim.Config{})
+	ds := NewDistSession(cluster, g, DefaultConfig())
+	defer ds.Close()
+
+	got, err := ds.Run([]*graph.Node{x, y}, graph.Feeds{x: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != in || got[1].Data()[0] != 42 {
+		t.Fatalf("got %v / %v, want fed tensor and [42]", got[0], got[1])
+	}
+
+	// Degenerate deployment: all fetches fed, zero fragments, zero calls.
+	before := cluster.Calls
+	got, err = ds.Run([]*graph.Node{x}, graph.Feeds{x: in})
+	if err != nil || got[0] != in {
+		t.Fatalf("all-fed fetch: %v, %v", got, err)
+	}
+	if cluster.Calls != before {
+		t.Fatal("all-fed run should not touch the cluster")
+	}
+}
+
+// TestCheckEdgeType: cut channels are typed — a tensor not matching the
+// producing node's static shape is rejected at the receiving fragment.
+func TestCheckEdgeType(t *testing.T) {
+	g := graph.New()
+	n := graph.Placeholder(g, "p", []int{2, -1})
+	if err := checkEdgeType(n, tensor.New(2, 7)); err != nil {
+		t.Fatalf("dynamic dim should accept any extent: %v", err)
+	}
+	if err := checkEdgeType(n, tensor.New(3, 7)); err == nil {
+		t.Fatal("static dim mismatch accepted")
+	}
+	if err := checkEdgeType(n, tensor.New(2)); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if err := checkEdgeType(n, nil); err == nil {
+		t.Fatal("nil tensor accepted")
+	}
+}
+
+// TestDistSessionActorMetrics: fragment traffic shows up in the engine's
+// per-actor metrics snapshot, keyed by the deterministic fragment names.
+func TestDistSessionActorMetrics(t *testing.T) {
+	g, _, fetches, feeds := buildTwoDeviceTrunkHead()
+	cluster := raysim.NewCluster(raysim.Config{})
+	ds := NewDistSession(cluster, g, DefaultConfig())
+	defer ds.Close()
+	infos, _, err := ds.Describe(fetches, feedNodes(feeds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Run(fetches, feeds); err != nil {
+		t.Fatal(err)
+	}
+	snap := cluster.ActorMetricsSnapshot()
+	for _, info := range infos {
+		m, ok := snap[info.Actor]
+		if !ok || m.CallsProcessed == 0 {
+			t.Fatalf("no actor metrics recorded for %s: %+v", info.Actor, snap)
+		}
+	}
+}

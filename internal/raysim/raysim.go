@@ -100,7 +100,8 @@ type Cluster struct {
 	mu        sync.Mutex
 	actors    map[string]*ActorRef
 	factories map[string]BehaviorFactory
-	faults    map[string]*faultState // persistent across restarts, by name
+	faults    map[string]*faultState  // persistent across restarts, by name
+	metrics   map[string]*metricState // persistent across restarts, by name
 
 	// Calls counts remote invocations (the coordination-efficiency metric).
 	Calls int64
@@ -120,6 +121,7 @@ func NewCluster(cfg Config) *Cluster {
 		actors:    make(map[string]*ActorRef),
 		factories: make(map[string]BehaviorFactory),
 		faults:    make(map[string]*faultState),
+		metrics:   make(map[string]*metricState),
 	}
 }
 
@@ -128,6 +130,7 @@ type call struct {
 	method    string
 	args      []interface{}
 	fut       *Future
+	enqueued  time.Time
 	notBefore time.Time
 }
 
@@ -146,7 +149,8 @@ type ActorRef struct {
 	crashed  atomic.Bool
 	killMu   sync.Mutex
 	killErr  error
-	faults   *faultState // nil when no plan entry matches
+	faults   *faultState  // nil when no plan entry matches
+	metrics  *metricState // shared by every incarnation of this name
 }
 
 // Future is the result handle of a remote call.
@@ -246,6 +250,7 @@ func (c *Cluster) newRef(name string, behavior Behavior) *ActorRef {
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 		faults:   c.faultStateFor(name),
+		metrics:  c.metricStateFor(name),
 	}
 }
 
@@ -344,6 +349,7 @@ func (a *ActorRef) run() {
 // injected faults. A non-nil return is a crash: the call's future already
 // holds the crash error and the actor must terminate.
 func (a *ActorRef) process(msg call) error {
+	a.metrics.noteDequeue(time.Since(msg.enqueued))
 	var inj injectedFault
 	if a.faults != nil {
 		inj = a.faults.next()
@@ -464,12 +470,23 @@ func (a *ActorRef) Call(method string, args ...interface{}) *Future {
 		atomic.AddInt64(&a.cluster.BytesMoved, bytes)
 		delay += time.Duration(float64(bytes) / bps * float64(time.Second))
 	}
-	c := call{method: method, args: args, fut: f, notBefore: time.Now().Add(delay)}
+	now := time.Now()
+	c := call{method: method, args: args, fut: f, enqueued: now, notBefore: now.Add(delay)}
+	blocked := false
 	select {
 	case a.mailbox <- c:
-	case <-a.done:
-		f.deliver(nil, fmt.Errorf("raysim: actor %q: %w", a.name, ErrMailboxClosed))
+	default:
+		// Mailbox full: record the backpressure event, then block.
+		blocked = true
+		select {
+		case a.mailbox <- c:
+		case <-a.done:
+			a.metrics.noteEnqueue(len(a.mailbox), blocked)
+			f.deliver(nil, fmt.Errorf("raysim: actor %q: %w", a.name, ErrMailboxClosed))
+			return f
+		}
 	}
+	a.metrics.noteEnqueue(len(a.mailbox), blocked)
 	return f
 }
 
